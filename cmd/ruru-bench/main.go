@@ -1,0 +1,116 @@
+// Command ruru-bench regenerates the evaluation: one subcommand per
+// experiment in DESIGN.md §4 / EXPERIMENTS.md, printing the corresponding
+// table. "all" runs the full suite.
+//
+// Usage:
+//
+//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|all
+//
+// Scale flags let CI run reduced versions; defaults reproduce the numbers
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ruru/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "deterministic seed for all experiments")
+		quick = flag.Bool("quick", false, "reduced scale (CI-friendly)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scale := 1.0
+	if *quick {
+		scale = 0.1
+	}
+	run := func(id string) error {
+		w := os.Stdout
+		switch id {
+		case "e1":
+			_, err := experiments.E1(experiments.E1Config{
+				Seed: *seed, Flows: int(20000 * scale),
+			}, w)
+			return err
+		case "e2":
+			_, err := experiments.E2(experiments.E2Config{
+				Seed: *seed, RunPackets: int64(2_000_000 * scale),
+				TracePkts: int(300_000 * scale),
+			}, w)
+			return err
+		case "e2burst":
+			_, err := experiments.E2Burst(experiments.E2Config{
+				Seed: *seed, RunPackets: int64(1_000_000 * scale),
+				TracePkts: int(200_000 * scale),
+			}, 4, nil, w)
+			return err
+		case "e3":
+			_, err := experiments.E3(experiments.E3Config{
+				Messages: int(50_000 * scale),
+			}, w)
+			return err
+		case "e4":
+			_, err := experiments.E4(experiments.E4Config{
+				Seed: *seed, Hours: 0.5 * scale, PeriodS: 600, WindowMs: 500, ExtraMs: 4000,
+			}, w)
+			return err
+		case "e5":
+			_, err := experiments.E5(experiments.E5Config{Seed: *seed}, w)
+			return err
+		case "e6":
+			_, err := experiments.E6(experiments.E6Config{
+				Seed: *seed, Lookups: int(200_000 * scale),
+			}, w)
+			return err
+		case "e7":
+			_, err := experiments.E7(experiments.E7Config{
+				Seed: *seed, Flows: int(20000 * scale),
+			}, w)
+			return err
+		case "e8":
+			_, err := experiments.E8(experiments.E8Config{
+				Seed: *seed, Points: int(500_000 * scale),
+			}, w)
+			return err
+		case "e9":
+			_, err := experiments.E9(experiments.E9Config{
+				Seed: *seed, Messages: int(300_000 * scale),
+			}, w)
+			return err
+		case "e10":
+			_, err := experiments.E10(experiments.E10Config{
+				Seed: *seed, Flows: int(10000 * scale),
+			}, w)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	ids := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "ruru-bench %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

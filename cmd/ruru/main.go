@@ -1,0 +1,195 @@
+// Command ruru runs the full pipeline: it taps a traffic source (the
+// built-in generator or a pcap trace), measures TCP handshake latency,
+// enriches with geo/AS data, stores into the embedded TSDB, and serves the
+// HTTP API and WebSocket live feed — the paper's deployment in one process.
+//
+// Examples:
+//
+//	ruru -listen :8080                          # synthetic AKL↔LA traffic
+//	ruru -listen :8080 -pcap trace.pcap         # replay a capture
+//	ruru -listen :8080 -rate 2000 -duration 60s # heavier synthetic load
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+	"ruru/internal/nic"
+	"ruru/internal/pcap"
+	"ruru/internal/ruru"
+	"ruru/internal/web"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "HTTP listen address (API + /ws)")
+		pcapPath   = flag.String("pcap", "", "replay this pcap instead of generating traffic")
+		rate       = flag.Float64("rate", 500, "synthetic flows/s")
+		duration   = flag.Duration("duration", 5*time.Minute, "synthetic capture length (virtual)")
+		queues     = flag.Int("queues", 4, "RSS queues / measurement cores")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		firewall   = flag.Bool("firewall-demo", false, "inject the nightly +4000ms firewall glitch")
+		timestamps = flag.Bool("timestamps", false, "continuous RTT from TCP timestamp echoes (rtt_stream measurement)")
+		snapshot   = flag.String("snapshot", "", "dump the TSDB as line protocol to this file on shutdown")
+	)
+	flag.Parse()
+
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: *seed, MislabelFraction: 0.02})
+	if err != nil {
+		log.Fatalf("building world: %v", err)
+	}
+	p, err := ruru.New(ruru.Config{
+		GeoDB:           world.DB(),
+		Queues:          *queues,
+		TrackTimestamps: *timestamps,
+	})
+	if err != nil {
+		log.Fatalf("assembling pipeline: %v", err)
+	}
+	defer p.Close()
+	if *snapshot != "" {
+		defer func() {
+			f, err := os.Create(*snapshot)
+			if err != nil {
+				log.Printf("snapshot: %v", err)
+				return
+			}
+			defer f.Close()
+			n, err := p.DB.Snapshot(f)
+			if err != nil {
+				log.Printf("snapshot: %v", err)
+				return
+			}
+			log.Printf("ruru: snapshot of %d points written to %s", n, *snapshot)
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go p.Run(ctx)
+
+	srv := &http.Server{Addr: *listen, Handler: web.NewServer(p)}
+	go func() {
+		log.Printf("ruru: serving API on %s (endpoints: /api/stats /api/query /api/arcs /api/anomalies /ws)", *listen)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("http: %v", err)
+		}
+	}()
+	defer srv.Shutdown(context.Background())
+
+	// Periodic status line.
+	go func() {
+		t := time.NewTicker(5 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				st := p.Stats()
+				log.Printf("ruru: pkts=%d measured=%d enriched=%d db=%d ws_clients=%d",
+					st.Port.Ipackets, st.Engine.Completed, st.Enricher.Out, st.DBPoints, p.Hub.Clients())
+			}
+		}
+	}()
+
+	if *pcapPath != "" {
+		if err := replayPcap(ctx, *pcapPath, p.Port); err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+	} else {
+		cfg := gen.Config{
+			Seed: *seed, World: world,
+			FlowRate: *rate, Duration: duration.Nanoseconds(),
+			DataSegments: 2, UDPRate: *rate / 2, MidstreamRate: *rate / 20,
+			SYNLoss: 0.01, SYNACKLoss: 0.01, IPv6Fraction: 0.15,
+			EmitTCPTimestamps: *timestamps,
+		}
+		if *firewall {
+			cfg.FirewallWindows = []gen.Window{{
+				Every: 60e9, Offset: 30e9, Length: 500e6, Extra: 4000e6,
+			}}
+			log.Printf("ruru: firewall demo enabled (+4000ms window every 60s)")
+		}
+		g, err := gen.New(cfg)
+		if err != nil {
+			log.Fatalf("generator: %v", err)
+		}
+		// Pace injection to wall-clock so the live map looks live:
+		// virtual nanoseconds map 1:1 onto wall nanoseconds.
+		go func() {
+			start := time.Now()
+			var pk gen.Packet
+			for g.Next(&pk) {
+				if ctx.Err() != nil {
+					return
+				}
+				elapsed := time.Since(start).Nanoseconds()
+				if ahead := pk.TS - elapsed; ahead > 2e6 {
+					select {
+					case <-time.After(time.Duration(ahead)):
+					case <-ctx.Done():
+						return
+					}
+				}
+				p.Port.InjectTuple(pk.Frame, pk.TS, pk.Src, pk.Dst, pk.SrcPort, pk.DstPort)
+			}
+			log.Printf("ruru: generator finished")
+		}()
+	}
+
+	<-ctx.Done()
+	fmt.Println()
+	st := p.Stats()
+	log.Printf("ruru: final stats: %+v", st)
+}
+
+// replayPcap paces a capture into the port on its own timestamps.
+func replayPcap(ctx context.Context, path string, port *nic.Port) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var pk pcap.Packet
+	var first int64 = -1
+	start := time.Now()
+	n := 0
+	for {
+		if err := r.ReadPacket(&pk); err != nil {
+			if n == 0 {
+				return fmt.Errorf("empty capture")
+			}
+			log.Printf("ruru: replayed %d packets", n)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if first < 0 {
+			first = pk.Timestamp
+		}
+		rel := pk.Timestamp - first
+		if ahead := rel - time.Since(start).Nanoseconds(); ahead > 2e6 {
+			select {
+			case <-time.After(time.Duration(ahead)):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		port.Inject(pk.Data, rel)
+		n++
+	}
+}

@@ -1,0 +1,86 @@
+// anomaly-firewall reproduces the paper's §3 anecdote end to end: a
+// periodic firewall update adds ~4000 ms to every connection that starts
+// inside a short nightly window. The example runs the same measurement
+// stream through (a) Ruru's per-pair spike detector and (b) a 5-minute
+// SNMP-style average, then prints both views — the glitch is obvious in
+// one and invisible in the other.
+//
+// Run with: go run ./examples/anomaly-firewall
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ruru/internal/anomaly"
+	"ruru/internal/core"
+	"ruru/internal/experiments"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+)
+
+func main() {
+	world, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 30 virtual minutes, 200 flows/s, "nightly" window every 5 minutes:
+	// 500ms long, +4000ms external latency for flows that start inside it.
+	g, err := gen.New(gen.Config{
+		Seed: 42, World: world,
+		FlowRate: 200, Duration: 1800e9,
+		ClientCities: []int{0, 2, 3}, ServerCities: []int{1, 7, 9},
+		FirewallWindows: []gen.Window{{
+			Every: 300e9, Offset: 60e9, Length: 500e6, Extra: 4000e6,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spikes := anomaly.NewSpikeBank(anomaly.SpikeConfig{}, 0)
+	snmp := anomaly.NewSNMPPoller(300e9)
+	var events []anomaly.Event
+
+	rep := experiments.Replay{
+		Queues: 4,
+		Table:  core.TableConfig{Capacity: 1 << 16, Timeout: 60e9},
+		OnMeasure: func(m *core.Measurement) {
+			snmp.Offer(m.ACKTime, m.Total)
+			pair := "?"
+			if cs, ok := world.CityOf(m.Flow.Client); ok {
+				if cd, ok := world.CityOf(m.Flow.Server); ok {
+					pair = cs.Name + "→" + cd.Name
+				}
+			}
+			if ev := spikes.Offer(pair, m.ACKTime, m.Total); ev != nil {
+				events = append(events, *ev)
+			}
+		},
+	}
+	st := rep.Run(g)
+	snmp.Flush()
+
+	fmt.Printf("processed %d packets, measured %d handshakes\n\n", st.Packets, st.Tables.Completed)
+
+	fmt.Println("── What Ruru sees ────────────────────────────────────────────")
+	fmt.Printf("%d latency spikes detected; first ten:\n", len(events))
+	for i, ev := range events {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(events)-10)
+			break
+		}
+		fmt.Printf("  t=%7.1fs  %s\n", float64(ev.Time)/1e9, ev.Detail)
+	}
+
+	fmt.Println("\n── What 5-minute SNMP polling sees ───────────────────────────")
+	fmt.Println("  interval    mean latency")
+	for _, s := range snmp.Samples() {
+		bar := strings.Repeat("█", int(s.MeanNs/1e6/20))
+		fmt.Printf("  t=%4ds     %7.1fms %s\n", s.Time/1e9, s.MeanNs/1e6, bar)
+	}
+	fmt.Println("\nThe +4000ms glitch hits only flows started in a 500ms window, so it")
+	fmt.Println("moves the 5-minute average by a few percent — no SNMP threshold would")
+	fmt.Println("fire. Ruru flags every affected flow the moment its handshake completes.")
+}

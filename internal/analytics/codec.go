@@ -1,0 +1,208 @@
+package analytics
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+
+	"ruru/internal/core"
+)
+
+// Binary codecs for the two pipeline message types. The raw measurement
+// codec is the wire format between the measurement engine and the analytics
+// stage (the paper's first ZeroMQ hop: "source and destination IP addresses
+// with the external and internal latency measurements"); the enriched codec
+// is the second hop, after geolocation and IP removal.
+//
+// Layouts are fixed little-endian with a one-byte version prefix.
+
+// ErrBadMessage reports a malformed or truncated encoded message.
+var ErrBadMessage = errors.New("analytics: malformed message")
+
+const (
+	rawVersion      = 1
+	enrichedVersion = 1
+	rawSize         = 1 + 16 + 16 + 2 + 2 + 1 + 8*6 + 1 + 2
+)
+
+// MarshalMeasurement encodes m into buf (allocating if cap is short) and
+// returns the encoded slice.
+func MarshalMeasurement(buf []byte, m *core.Measurement) []byte {
+	if cap(buf) < rawSize {
+		buf = make([]byte, rawSize)
+	}
+	buf = buf[:rawSize]
+	buf[0] = rawVersion
+	c16 := m.Flow.Client.As16()
+	s16 := m.Flow.Server.As16()
+	copy(buf[1:17], c16[:])
+	copy(buf[17:33], s16[:])
+	binary.LittleEndian.PutUint16(buf[33:], m.Flow.ClientPort)
+	binary.LittleEndian.PutUint16(buf[35:], m.Flow.ServerPort)
+	if m.IPv6 {
+		buf[37] = 1
+	} else {
+		buf[37] = 0
+	}
+	binary.LittleEndian.PutUint64(buf[38:], uint64(m.Internal))
+	binary.LittleEndian.PutUint64(buf[46:], uint64(m.External))
+	binary.LittleEndian.PutUint64(buf[54:], uint64(m.Total))
+	binary.LittleEndian.PutUint64(buf[62:], uint64(m.SYNTime))
+	binary.LittleEndian.PutUint64(buf[70:], uint64(m.SYNACKTime))
+	binary.LittleEndian.PutUint64(buf[78:], uint64(m.ACKTime))
+	buf[86] = m.SYNRetrans
+	binary.LittleEndian.PutUint16(buf[87:], uint16(m.Queue))
+	return buf
+}
+
+// UnmarshalMeasurement decodes a message produced by MarshalMeasurement.
+func UnmarshalMeasurement(buf []byte, m *core.Measurement) error {
+	if len(buf) != rawSize || buf[0] != rawVersion {
+		return ErrBadMessage
+	}
+	var c16, s16 [16]byte
+	copy(c16[:], buf[1:17])
+	copy(s16[:], buf[17:33])
+	m.IPv6 = buf[37] == 1
+	if m.IPv6 {
+		m.Flow.Client = netip.AddrFrom16(c16)
+		m.Flow.Server = netip.AddrFrom16(s16)
+	} else {
+		m.Flow.Client = netip.AddrFrom16(c16).Unmap()
+		m.Flow.Server = netip.AddrFrom16(s16).Unmap()
+	}
+	m.Flow.ClientPort = binary.LittleEndian.Uint16(buf[33:])
+	m.Flow.ServerPort = binary.LittleEndian.Uint16(buf[35:])
+	m.Internal = int64(binary.LittleEndian.Uint64(buf[38:]))
+	m.External = int64(binary.LittleEndian.Uint64(buf[46:]))
+	m.Total = int64(binary.LittleEndian.Uint64(buf[54:]))
+	m.SYNTime = int64(binary.LittleEndian.Uint64(buf[62:]))
+	m.SYNACKTime = int64(binary.LittleEndian.Uint64(buf[70:]))
+	m.ACKTime = int64(binary.LittleEndian.Uint64(buf[78:]))
+	m.SYNRetrans = buf[86]
+	m.Queue = int(binary.LittleEndian.Uint16(buf[87:]))
+	return nil
+}
+
+// Endpoint is the anonymized, geolocated side of a measurement.
+type Endpoint struct {
+	CountryCode string  `json:"cc"`
+	Country     string  `json:"country"`
+	City        string  `json:"city"`
+	Lat         float64 `json:"lat"`
+	Lon         float64 `json:"lon"`
+	ASN         uint32  `json:"asn"`
+	ASName      string  `json:"as_name"`
+}
+
+// Enriched is a measurement after geo/AS enrichment with the IP addresses
+// removed (paper §2: "all original IP addresses are removed for privacy
+// reasons"). This is what the TSDB and the frontends receive.
+type Enriched struct {
+	Time       int64    `json:"time"` // completion (ACK) timestamp, ns
+	InternalNs int64    `json:"internal_ns"`
+	ExternalNs int64    `json:"external_ns"`
+	TotalNs    int64    `json:"total_ns"`
+	IPv6       bool     `json:"ipv6"`
+	SYNRetrans uint8    `json:"syn_retrans"`
+	Src        Endpoint `json:"src"`
+	Dst        Endpoint `json:"dst"`
+}
+
+func putStr(buf []byte, s string) []byte {
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	buf = append(buf, l[:]...)
+	return append(buf, s...)
+}
+
+func getStr(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", nil, ErrBadMessage
+	}
+	return string(buf[2 : 2+n]), buf[2+n:], nil
+}
+
+func putEndpoint(buf []byte, e *Endpoint) []byte {
+	buf = putStr(buf, e.CountryCode)
+	buf = putStr(buf, e.Country)
+	buf = putStr(buf, e.City)
+	buf = putStr(buf, e.ASName)
+	var fixed [20]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(int64(e.Lat*1e6)))
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(int64(e.Lon*1e6)))
+	binary.LittleEndian.PutUint32(fixed[16:], e.ASN)
+	return append(buf, fixed[:]...)
+}
+
+func getEndpoint(buf []byte, e *Endpoint) ([]byte, error) {
+	var err error
+	if e.CountryCode, buf, err = getStr(buf); err != nil {
+		return nil, err
+	}
+	if e.Country, buf, err = getStr(buf); err != nil {
+		return nil, err
+	}
+	if e.City, buf, err = getStr(buf); err != nil {
+		return nil, err
+	}
+	if e.ASName, buf, err = getStr(buf); err != nil {
+		return nil, err
+	}
+	if len(buf) < 20 {
+		return nil, ErrBadMessage
+	}
+	e.Lat = float64(int64(binary.LittleEndian.Uint64(buf[0:]))) / 1e6
+	e.Lon = float64(int64(binary.LittleEndian.Uint64(buf[8:]))) / 1e6
+	e.ASN = binary.LittleEndian.Uint32(buf[16:])
+	return buf[20:], nil
+}
+
+// MarshalEnriched encodes e, appending to buf.
+func MarshalEnriched(buf []byte, e *Enriched) []byte {
+	buf = append(buf[:0], enrichedVersion)
+	var fixed [33]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(e.Time))
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(e.InternalNs))
+	binary.LittleEndian.PutUint64(fixed[16:], uint64(e.ExternalNs))
+	binary.LittleEndian.PutUint64(fixed[24:], uint64(e.TotalNs))
+	b := byte(0)
+	if e.IPv6 {
+		b = 1
+	}
+	fixed[32] = b
+	buf = append(buf, fixed[:]...)
+	buf = append(buf, e.SYNRetrans)
+	buf = putEndpoint(buf, &e.Src)
+	buf = putEndpoint(buf, &e.Dst)
+	return buf
+}
+
+// UnmarshalEnriched decodes a message produced by MarshalEnriched.
+func UnmarshalEnriched(buf []byte, e *Enriched) error {
+	if len(buf) < 35 || buf[0] != enrichedVersion {
+		return ErrBadMessage
+	}
+	e.Time = int64(binary.LittleEndian.Uint64(buf[1:]))
+	e.InternalNs = int64(binary.LittleEndian.Uint64(buf[9:]))
+	e.ExternalNs = int64(binary.LittleEndian.Uint64(buf[17:]))
+	e.TotalNs = int64(binary.LittleEndian.Uint64(buf[25:]))
+	e.IPv6 = buf[33] == 1
+	e.SYNRetrans = buf[34]
+	rest, err := getEndpoint(buf[35:], &e.Src)
+	if err != nil {
+		return err
+	}
+	rest, err = getEndpoint(rest, &e.Dst)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrBadMessage
+	}
+	return nil
+}

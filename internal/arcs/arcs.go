@@ -1,0 +1,279 @@
+// Package arcs computes the geometry and colors of the connection arcs that
+// Ruru's WebGL map draws (paper §2: "multiple thousands of 3D arcs drawn on
+// a map with 30 fps"). The GL draw itself needs a browser; everything up to
+// the draw call lives here: great-circle interpolation (the polyline each
+// arc follows), a latency→color scale (the paper's §3 "red lines in areas
+// where most lines are green show increased latency"), a per-frame arc
+// budget, and an ASCII world-map renderer that makes the live-map use case
+// reproducible in a terminal and in CI.
+package arcs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+// Arc is one connection to draw.
+type Arc struct {
+	From, To Point
+	// LatencyNs colors the arc.
+	LatencyNs int64
+}
+
+// GreatCircle returns n+1 points interpolated along the great circle from a
+// to b (slerp on the unit sphere). n must be ≥ 1. Antipodal endpoints take
+// an arbitrary (but deterministic) meridian.
+func GreatCircle(a, b Point, n int) []Point {
+	if n < 1 {
+		n = 1
+	}
+	ax, ay, az := toCartesian(a)
+	bx, by, bz := toCartesian(b)
+	dot := ax*bx + ay*by + az*bz
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	omega := math.Acos(dot)
+	out := make([]Point, n+1)
+	if omega < 1e-9 { // coincident
+		for i := range out {
+			out[i] = a
+		}
+		return out
+	}
+	sin := math.Sin(omega)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		var w1, w2 float64
+		if sin < 1e-9 { // antipodal: fall back to linear blend via pole
+			w1, w2 = 1-t, t
+		} else {
+			w1 = math.Sin((1-t)*omega) / sin
+			w2 = math.Sin(t*omega) / sin
+		}
+		x := w1*ax + w2*bx
+		y := w1*ay + w2*by
+		z := w1*az + w2*bz
+		out[i] = fromCartesian(x, y, z)
+	}
+	return out
+}
+
+func toCartesian(p Point) (x, y, z float64) {
+	lat := p.Lat * math.Pi / 180
+	lon := p.Lon * math.Pi / 180
+	return math.Cos(lat) * math.Cos(lon), math.Cos(lat) * math.Sin(lon), math.Sin(lat)
+}
+
+func fromCartesian(x, y, z float64) Point {
+	r := math.Sqrt(x*x + y*y + z*z)
+	if r == 0 {
+		return Point{}
+	}
+	return Point{
+		Lat: math.Asin(z/r) * 180 / math.Pi,
+		Lon: math.Atan2(y, x) * 180 / math.Pi,
+	}
+}
+
+// Color is an sRGB triple.
+type Color struct{ R, G, B uint8 }
+
+// ColorScale maps latency to the green→yellow→red ramp the live map uses.
+// GoodNs and BadNs bound the ramp: at or below GoodNs the arc is pure
+// green, at or above BadNs pure red.
+type ColorScale struct {
+	GoodNs, BadNs int64
+}
+
+// DefaultScale matches an intercontinental link: 50 ms green, 500 ms red.
+var DefaultScale = ColorScale{GoodNs: 50e6, BadNs: 500e6}
+
+// Color maps a latency to the ramp.
+func (s ColorScale) Color(latencyNs int64) Color {
+	good, bad := s.GoodNs, s.BadNs
+	if bad <= good {
+		bad = good + 1
+	}
+	t := float64(latencyNs-good) / float64(bad-good)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// green (0,200,0) → yellow (230,230,0) → red (230,0,0)
+	if t < 0.5 {
+		u := t * 2
+		return Color{R: uint8(230 * u), G: uint8(200 + 30*u), B: 0}
+	}
+	u := (t - 0.5) * 2
+	return Color{R: 230, G: uint8(230 * (1 - u)), B: 0}
+}
+
+// Class buckets a latency for the terminal renderer: 0 good (below the ramp
+// midpoint), 1 degraded (upper half of the ramp), 2 bad (at or past BadNs).
+func (s ColorScale) Class(latencyNs int64) int {
+	good, bad := s.GoodNs, s.BadNs
+	if bad <= good {
+		bad = good + 1
+	}
+	t := float64(latencyNs-good) / float64(bad-good)
+	switch {
+	case t >= 1:
+		return 2
+	case t >= 0.5:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Renderer draws arcs on an equirectangular ASCII map.
+type Renderer struct {
+	W, H  int
+	Scale ColorScale
+	// MaxArcs bounds the arcs drawn per frame (the GL budget).
+	MaxArcs int
+}
+
+// NewRenderer returns a renderer with the given character grid size.
+func NewRenderer(w, h int) *Renderer {
+	if w < 10 {
+		w = 10
+	}
+	if h < 5 {
+		h = 5
+	}
+	return &Renderer{W: w, H: h, Scale: DefaultScale, MaxArcs: 2000}
+}
+
+func (r *Renderer) project(p Point) (int, int) {
+	x := int((p.Lon + 180) / 360 * float64(r.W-1))
+	y := int((90 - p.Lat) / 180 * float64(r.H-1))
+	if x < 0 {
+		x = 0
+	}
+	if x >= r.W {
+		x = r.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= r.H {
+		y = r.H - 1
+	}
+	return x, y
+}
+
+var classGlyph = [3]byte{'.', 'o', '#'}
+
+// Render draws the arcs and returns the frame as lines of text. Higher
+// severity classes overwrite lower ones, so a red ('#') segment always shows
+// through — the operator's "red lines among green" signal.
+func (r *Renderer) Render(arcs []Arc) []string {
+	grid := make([][]byte, r.H)
+	sev := make([][]int8, r.H)
+	for i := range grid {
+		grid[i] = bytes(' ', r.W)
+		sev[i] = make([]int8, r.W)
+		for j := range sev[i] {
+			sev[i][j] = -1
+		}
+	}
+	n := len(arcs)
+	if r.MaxArcs > 0 && n > r.MaxArcs {
+		n = r.MaxArcs
+	}
+	for _, a := range arcs[:n] {
+		class := int8(r.Scale.Class(a.LatencyNs))
+		steps := 24
+		pts := GreatCircle(a.From, a.To, steps)
+		for i := 0; i < len(pts)-1; i++ {
+			// Skip segments that wrap around the map edge.
+			if math.Abs(pts[i].Lon-pts[i+1].Lon) > 180 {
+				continue
+			}
+			x0, y0 := r.project(pts[i])
+			x1, y1 := r.project(pts[i+1])
+			drawLine(grid, sev, x0, y0, x1, y1, class)
+		}
+		// Endpoints always marked.
+		for _, p := range []Point{a.From, a.To} {
+			x, y := r.project(p)
+			grid[y][x] = '@'
+			sev[y][x] = 3
+		}
+	}
+	out := make([]string, r.H)
+	for i := range grid {
+		out[i] = string(grid[i])
+	}
+	return out
+}
+
+func bytes(b byte, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// drawLine rasterizes with Bresenham, honoring severity precedence.
+func drawLine(grid [][]byte, sev [][]int8, x0, y0, x1, y1 int, class int8) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if sev[y0][x0] < class {
+			sev[y0][x0] = class
+			grid[y0][x0] = classGlyph[class]
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Legend returns a one-line legend for the renderer output.
+func (r *Renderer) Legend() string {
+	return fmt.Sprintf(". <%dms   o <%dms   # >=%dms   @ endpoint",
+		r.Scale.GoodNs/1e6+(r.Scale.BadNs-r.Scale.GoodNs)/2e6,
+		r.Scale.BadNs/1e6, r.Scale.BadNs/1e6)
+}
+
+// Frame joins rendered lines for printing.
+func Frame(lines []string) string { return strings.Join(lines, "\n") }

@@ -1,0 +1,214 @@
+package arcs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ruru/internal/geo"
+)
+
+func TestGreatCircleEndpoints(t *testing.T) {
+	akl := Point{-36.85, 174.76}
+	lax := Point{34.05, -118.24}
+	pts := GreatCircle(akl, lax, 16)
+	if len(pts) != 17 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if math.Abs(pts[0].Lat-akl.Lat) > 1e-6 || math.Abs(pts[0].Lon-akl.Lon) > 1e-6 {
+		t.Fatalf("start = %+v", pts[0])
+	}
+	if math.Abs(pts[16].Lat-lax.Lat) > 1e-6 || math.Abs(pts[16].Lon-lax.Lon) > 1e-6 {
+		t.Fatalf("end = %+v", pts[16])
+	}
+}
+
+func TestGreatCirclePathLength(t *testing.T) {
+	// The polyline length must approximate the great-circle distance
+	// (within 1% for 32 segments).
+	akl := Point{-36.85, 174.76}
+	lax := Point{34.05, -118.24}
+	pts := GreatCircle(akl, lax, 32)
+	var total float64
+	for i := 0; i < len(pts)-1; i++ {
+		total += geo.Haversine(pts[i].Lat, pts[i].Lon, pts[i+1].Lat, pts[i+1].Lon)
+	}
+	direct := geo.Haversine(akl.Lat, akl.Lon, lax.Lat, lax.Lon)
+	if math.Abs(total-direct) > 0.01*direct {
+		t.Fatalf("polyline %.0f km vs direct %.0f km", total, direct)
+	}
+}
+
+func TestGreatCircleMidpointProperty(t *testing.T) {
+	// The midpoint must be equidistant from both endpoints.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		norm := func(v, bound float64) float64 {
+			v = math.Mod(v, bound)
+			if math.IsNaN(v) {
+				return 0
+			}
+			return v
+		}
+		a := Point{norm(lat1, 89), norm(lon1, 179)}
+		b := Point{norm(lat2, 89), norm(lon2, 179)}
+		d := geo.Haversine(a.Lat, a.Lon, b.Lat, b.Lon)
+		if d < 100 { // degenerate/coincident
+			return true
+		}
+		pts := GreatCircle(a, b, 2)
+		mid := pts[1]
+		d1 := geo.Haversine(a.Lat, a.Lon, mid.Lat, mid.Lon)
+		d2 := geo.Haversine(mid.Lat, mid.Lon, b.Lat, b.Lon)
+		return math.Abs(d1-d2) < 0.02*d+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreatCircleCoincident(t *testing.T) {
+	p := Point{10, 20}
+	pts := GreatCircle(p, p, 4)
+	for _, q := range pts {
+		if q != p {
+			t.Fatalf("coincident arc wandered: %+v", q)
+		}
+	}
+}
+
+func TestColorScale(t *testing.T) {
+	s := ColorScale{GoodNs: 50e6, BadNs: 500e6}
+	if c := s.Color(10e6); c.G < 150 || c.R > 50 {
+		t.Fatalf("fast color = %+v, want green", c)
+	}
+	if c := s.Color(1000e6); c.R != 230 || c.G != 0 {
+		t.Fatalf("slow color = %+v, want red", c)
+	}
+	mid := s.Color(275e6)
+	if mid.R < 150 || mid.G < 100 {
+		t.Fatalf("mid color = %+v, want yellowish", mid)
+	}
+	// Monotonicity of redness.
+	prevR := -1
+	for ns := int64(0); ns <= 600e6; ns += 50e6 {
+		c := s.Color(ns)
+		if int(c.R) < prevR {
+			t.Fatalf("red not monotone at %d", ns)
+		}
+		prevR = int(c.R)
+	}
+	// Classes.
+	if s.Class(10e6) != 0 || s.Class(490e6) != 1 || s.Class(900e6) != 2 {
+		t.Fatalf("classes: %d %d %d", s.Class(10e6), s.Class(490e6), s.Class(900e6))
+	}
+	// Degenerate scale must not divide by zero.
+	bad := ColorScale{GoodNs: 100, BadNs: 100}
+	_ = bad.Color(50)
+}
+
+func TestRendererShowsRedAmongGreen(t *testing.T) {
+	// The §3 operator workflow: one slow arc must be visible (as '#')
+	// among fast ('.') arcs.
+	r := NewRenderer(120, 40)
+	arcsIn := []Arc{
+		{From: Point{-36.85, 174.76}, To: Point{34.05, -118.24}, LatencyNs: 130e6},
+		{From: Point{-36.85, 174.76}, To: Point{35.68, 139.69}, LatencyNs: 4000e6}, // the glitch
+	}
+	lines := r.Render(arcsIn)
+	frame := Frame(lines)
+	if !strings.Contains(frame, "#") {
+		t.Fatal("anomalous arc not rendered as '#'")
+	}
+	if !strings.Contains(frame, ".") && !strings.Contains(frame, "o") {
+		t.Fatal("normal arc not rendered")
+	}
+	if !strings.Contains(frame, "@") {
+		t.Fatal("endpoints not marked")
+	}
+	if len(lines) != 40 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 120 {
+			t.Fatalf("line %d width %d", i, len(l))
+		}
+	}
+}
+
+func TestRendererArcBudget(t *testing.T) {
+	r := NewRenderer(80, 24)
+	r.MaxArcs = 1
+	many := make([]Arc, 100)
+	for i := range many {
+		many[i] = Arc{From: Point{0, float64(i)}, To: Point{10, float64(i) + 5}, LatencyNs: 4000e6}
+	}
+	// Only verifying it doesn't blow up and renders something bounded.
+	lines := r.Render(many)
+	if len(lines) != 24 {
+		t.Fatal("bad frame")
+	}
+}
+
+func TestRendererSeverityPrecedence(t *testing.T) {
+	// A red arc crossing a green arc must win at intersections.
+	r := NewRenderer(41, 21)
+	cross := []Arc{
+		{From: Point{0, -20}, To: Point{0, 20}, LatencyNs: 1e6},    // green horizontal
+		{From: Point{-20, 0}, To: Point{20, 0}, LatencyNs: 4000e6}, // red vertical
+	}
+	lines := r.Render(cross)
+	// The crossing is near the grid center.
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "#") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("red arc invisible")
+	}
+}
+
+func TestProjectClamps(t *testing.T) {
+	r := NewRenderer(100, 50)
+	for _, p := range []Point{{91, 0}, {-91, 0}, {0, 181}, {0, -181}, {90, 180}, {-90, -180}} {
+		x, y := r.project(p)
+		if x < 0 || x >= r.W || y < 0 || y >= r.H {
+			t.Fatalf("project(%+v) = %d,%d out of grid", p, x, y)
+		}
+	}
+}
+
+func TestLegendMentionsThresholds(t *testing.T) {
+	r := NewRenderer(80, 24)
+	if !strings.Contains(r.Legend(), "500") {
+		t.Fatalf("legend = %q", r.Legend())
+	}
+}
+
+func BenchmarkGreatCircle(b *testing.B) {
+	akl := Point{-36.85, 174.76}
+	lax := Point{34.05, -118.24}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreatCircle(akl, lax, 24)
+	}
+}
+
+func BenchmarkRender1000Arcs(b *testing.B) {
+	r := NewRenderer(160, 50)
+	arcsIn := make([]Arc, 1000)
+	for i := range arcsIn {
+		arcsIn[i] = Arc{
+			From:      Point{float64(i%120 - 60), float64(i%300 - 150)},
+			To:        Point{float64((i*7)%120 - 60), float64((i*13)%300 - 150)},
+			LatencyNs: int64(i) * 1e6,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render(arcsIn)
+	}
+}

@@ -1,0 +1,394 @@
+// Package core implements Ruru's primary contribution: passive, flow-level
+// end-to-end latency measurement from TCP three-way handshakes observed at a
+// tap (paper §2, Figure 1).
+//
+// For every TCP flow the engine records three timestamps: the first SYN, the
+// following SYN-ACK, and the first valid ACK. With the tap between client C
+// and server S:
+//
+//	external = t(SYN-ACK) - t(SYN)  — RTT between the tap and the server
+//	internal = t(ACK) - t(SYN-ACK)  — RTT between the tap and the client
+//	total    = internal + external  — full end-to-end RTT C↔S
+//
+// State lives in per-queue HandshakeTables indexed by the flow 4-tuple.
+// Symmetric RSS guarantees both directions of a flow arrive on the same
+// queue, so tables are single-writer and lock-free. Tables are fixed-size
+// open-addressed arrays (linear probing with backward-shift deletion) and
+// the processing path performs no heap allocation.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ruru/internal/pkt"
+)
+
+// FlowKey identifies a TCP flow oriented client→server (the direction of the
+// initial SYN). It is comparable and used as the handshake table key.
+type FlowKey struct {
+	Client, Server         netip.Addr
+	ClientPort, ServerPort uint16
+}
+
+// String formats the key as "client:cport->server:sport".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", k.Client, k.ClientPort, k.Server, k.ServerPort)
+}
+
+// Measurement is one completed handshake observation: the unit of data the
+// rest of the pipeline (analytics, TSDB, frontends) consumes. Addresses are
+// present here and removed by the analytics stage after geo enrichment, per
+// the paper's privacy design.
+type Measurement struct {
+	Flow FlowKey
+	IPv6 bool
+
+	// Internal is the tap↔client RTT, External the tap↔server RTT, and
+	// Total their sum (the full client↔server RTT), all in nanoseconds.
+	Internal, External, Total int64
+
+	// SYNTime, SYNACKTime and ACKTime are the three captured timestamps.
+	SYNTime, SYNACKTime, ACKTime int64
+
+	// SYNRetrans counts retransmitted SYNs observed before completion.
+	SYNRetrans uint8
+	// Queue is the RSS queue that observed the flow.
+	Queue int
+}
+
+// TableStats counts per-table outcomes. All counters are cumulative.
+type TableStats struct {
+	Packets       uint64 // TCP packets examined
+	SYNs          uint64 // initial SYNs inserted
+	SYNRetrans    uint64 // retransmitted SYNs for live entries
+	SYNACKs       uint64 // SYN-ACKs matched to a pending SYN
+	OrphanSYNACKs uint64 // SYN-ACKs with no pending SYN (midstream/asymmetric)
+	Completed     uint64 // handshakes completed (measurements emitted)
+	InvalidACKs   uint64 // ACKs that failed ISN validation for a pending flow
+	MidstreamACKs uint64 // ACKs for flows not in the table (established traffic)
+	Aborted       uint64 // entries removed by RST before completion
+	Expired       uint64 // entries evicted incomplete (feeds SYN-flood signal)
+	ExpiredAwait  uint64 // of Expired: had SYN only (no SYN-ACK ever seen)
+	TableFull     uint64 // SYNs dropped because the table was at capacity
+	Occupancy     uint64 // current live entries (gauge, not cumulative)
+}
+
+type entryState uint8
+
+const (
+	stateEmpty  entryState = iota
+	stateSYN               // SYN seen, awaiting SYN-ACK
+	stateSYNACK            // SYN-ACK seen, awaiting ACK
+)
+
+type entry struct {
+	key       FlowKey
+	synTS     int64
+	synAckTS  int64
+	lastTS    int64
+	clientISN uint32
+	serverISN uint32
+	hash      uint32
+	state     entryState
+	retrans   uint8
+	ipv6      bool
+}
+
+// TableConfig configures a HandshakeTable.
+type TableConfig struct {
+	// Capacity is the number of slots (rounded up to a power of two).
+	// The table refuses new flows beyond ~85% occupancy. Default 1<<16.
+	Capacity int
+	// Timeout evicts handshakes with no progress for this many
+	// nanoseconds (virtual tap clock). Default 10s.
+	Timeout int64
+	// Queue is recorded in emitted measurements.
+	Queue int
+	// OnExpire, when non-nil, is invoked for every entry evicted
+	// incomplete: lastTS is the entry's last activity timestamp and
+	// awaitingSYNACK is true when no SYN-ACK was ever seen (the
+	// unanswered-SYN signal the flood detector consumes). Called from
+	// the table's single-writer goroutine; must be fast or hand off.
+	OnExpire func(lastTS int64, awaitingSYNACK bool)
+}
+
+// HandshakeTable tracks in-progress handshakes for one RSS queue.
+// It is single-writer: exactly one goroutine may call Process/Sweep.
+type HandshakeTable struct {
+	slots    []entry
+	mask     uint32
+	live     int
+	maxLive  int
+	timeout  int64
+	queue    int
+	onExpire func(lastTS int64, awaitingSYNACK bool)
+	stats    TableStats
+
+	sweepPos  uint32 // incremental sweep cursor
+	lastSweep int64
+}
+
+// NewHandshakeTable creates a table from cfg.
+func NewHandshakeTable(cfg TableConfig) *HandshakeTable {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	// Round up to a power of two.
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10e9
+	}
+	return &HandshakeTable{
+		slots:    make([]entry, n),
+		mask:     uint32(n - 1),
+		maxLive:  n * 85 / 100,
+		timeout:  timeout,
+		queue:    cfg.Queue,
+		onExpire: cfg.OnExpire,
+	}
+}
+
+// Stats returns a snapshot of the table counters.
+func (t *HandshakeTable) Stats() TableStats {
+	s := t.stats
+	s.Occupancy = uint64(t.live)
+	return s
+}
+
+// Len returns the number of live entries.
+func (t *HandshakeTable) Len() int { return t.live }
+
+// mix finalizes the RSS hash into a table index seed. The RSS hash is
+// already uniform, but mixing guards against pathological keys when the
+// asymmetric-key ablation (E7) routes both directions differently.
+func mix(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}
+
+// find locates the slot index of key, or the first empty slot encountered.
+func (t *HandshakeTable) find(hash uint32, key FlowKey) (idx uint32, found bool) {
+	i := mix(hash) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.state == stateEmpty {
+			return i, false
+		}
+		if s.hash == hash && s.key == key {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// remove deletes slot i using backward-shift deletion, preserving probe
+// chains without tombstones.
+func (t *HandshakeTable) remove(i uint32) {
+	t.live--
+	for {
+		t.slots[i] = entry{}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			s := &t.slots[j]
+			if s.state == stateEmpty {
+				return
+			}
+			home := mix(s.hash) & t.mask
+			// Can s legally move into the hole at i?
+			if (j-home)&t.mask >= (j-i)&t.mask {
+				t.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Process examines one parsed TCP packet with capture timestamp ts and RSS
+// hash rssHash. If the packet completes a handshake, the resulting
+// measurement is stored in *m and Process returns true.
+func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Measurement) bool {
+	t.stats.Packets++
+	t.maybeSweep(ts)
+
+	tcp := &s.TCP
+	switch {
+	case tcp.IsSYN():
+		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
+		idx, found := t.find(rssHash, key)
+		if found {
+			e := &t.slots[idx]
+			if e.clientISN == tcp.Seq {
+				// Retransmitted SYN (possibly after the SYN-ACK, when it
+				// was lost client-side): keep the first timestamps — the
+				// paper measures from the first SYN — refresh liveness.
+				e.lastTS = ts
+				if e.retrans < 255 {
+					e.retrans++
+				}
+				t.stats.SYNRetrans++
+				return false
+			}
+			// A new connection reusing the 4-tuple: restart tracking.
+			*e = entry{key: key, synTS: ts, lastTS: ts, clientISN: tcp.Seq,
+				hash: rssHash, state: stateSYN, ipv6: s.IPv6}
+			t.stats.SYNs++
+			return false
+		}
+		if t.live >= t.maxLive {
+			t.stats.TableFull++
+			return false
+		}
+		t.slots[idx] = entry{key: key, synTS: ts, lastTS: ts, clientISN: tcp.Seq,
+			hash: rssHash, state: stateSYN, ipv6: s.IPv6}
+		t.live++
+		t.stats.SYNs++
+		return false
+
+	case tcp.IsSYNACK():
+		// Server→client: reverse the tuple to the client orientation.
+		key := FlowKey{Client: s.Dst(), Server: s.Src(), ClientPort: tcp.DstPort, ServerPort: tcp.SrcPort}
+		idx, found := t.find(rssHash, key)
+		if !found {
+			t.stats.OrphanSYNACKs++
+			return false
+		}
+		e := &t.slots[idx]
+		switch e.state {
+		case stateSYN:
+			if tcp.Ack != e.clientISN+1 {
+				// SYN-ACK for a different incarnation; ignore.
+				t.stats.OrphanSYNACKs++
+				return false
+			}
+			e.synAckTS = ts
+			e.serverISN = tcp.Seq
+			e.lastTS = ts
+			e.state = stateSYNACK
+			t.stats.SYNACKs++
+		case stateSYNACK:
+			// Retransmitted SYN-ACK: the paper keeps the first
+			// ("the following SYN-ACK"); refresh liveness only.
+			e.lastTS = ts
+		}
+		return false
+
+	case tcp.ACK() && !tcp.RST() && !tcp.SYN():
+		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
+		idx, found := t.find(rssHash, key)
+		if !found {
+			t.stats.MidstreamACKs++
+			return false
+		}
+		e := &t.slots[idx]
+		if e.state != stateSYNACK {
+			// ACK from client while we've not seen the SYN-ACK: can't
+			// measure; leave the entry (SYN-ACK may be reordered).
+			t.stats.InvalidACKs++
+			return false
+		}
+		if tcp.Seq != e.clientISN+1 || tcp.Ack != e.serverISN+1 {
+			t.stats.InvalidACKs++
+			return false
+		}
+		*m = Measurement{
+			Flow:       e.key,
+			IPv6:       e.ipv6,
+			External:   e.synAckTS - e.synTS,
+			Internal:   ts - e.synAckTS,
+			Total:      ts - e.synTS,
+			SYNTime:    e.synTS,
+			SYNACKTime: e.synAckTS,
+			ACKTime:    ts,
+			SYNRetrans: e.retrans,
+			Queue:      t.queue,
+		}
+		t.remove(idx)
+		t.stats.Completed++
+		return true
+
+	case tcp.RST():
+		// Abort either orientation.
+		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
+		if idx, found := t.find(rssHash, key); found {
+			t.remove(idx)
+			t.stats.Aborted++
+			return false
+		}
+		rkey := FlowKey{Client: s.Dst(), Server: s.Src(), ClientPort: tcp.DstPort, ServerPort: tcp.SrcPort}
+		if idx, found := t.find(rssHash, rkey); found {
+			t.remove(idx)
+			t.stats.Aborted++
+		}
+		return false
+	}
+	return false
+}
+
+// maybeSweep advances the incremental eviction scan. Every sweepInterval of
+// virtual time the whole table is covered in sweepChunks pieces, so eviction
+// cost is amortized and never stalls a burst.
+const (
+	sweepChunk = 256
+)
+
+func (t *HandshakeTable) maybeSweep(now int64) {
+	if t.lastSweep == 0 {
+		t.lastSweep = now
+		return
+	}
+	// Target: cover the full table once per timeout period.
+	interval := t.timeout / int64(len(t.slots)/sweepChunk+1)
+	if interval < 1 {
+		interval = 1
+	}
+	if now-t.lastSweep < interval {
+		return
+	}
+	t.lastSweep = now
+	end := t.sweepPos + sweepChunk
+	for i := t.sweepPos; i < end; i++ {
+		t.evictExpiredAt(i&t.mask, now)
+	}
+	t.sweepPos = end & t.mask
+}
+
+// evictExpiredAt removes the entry at idx while it is expired; backward-shift
+// deletion may move another expired entry into idx, so it loops.
+func (t *HandshakeTable) evictExpiredAt(idx uint32, now int64) {
+	for {
+		s := &t.slots[idx]
+		if s.state == stateEmpty || now-s.lastTS <= t.timeout {
+			return
+		}
+		awaiting := s.state == stateSYN
+		if awaiting {
+			t.stats.ExpiredAwait++
+		}
+		t.stats.Expired++
+		lastTS := s.lastTS
+		t.remove(idx)
+		if t.onExpire != nil {
+			t.onExpire(lastTS, awaiting)
+		}
+	}
+}
+
+// SweepAll synchronously evicts every expired entry (used at end of trace
+// and in tests).
+func (t *HandshakeTable) SweepAll(now int64) {
+	for i := uint32(0); i < uint32(len(t.slots)); i++ {
+		t.evictExpiredAt(i, now)
+	}
+}

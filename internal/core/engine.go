@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"ruru/internal/nic"
+	"ruru/internal/pkt"
+)
+
+// Sink receives completed measurements. Emit is called from per-queue worker
+// goroutines and must be safe for concurrent use; it should be fast or
+// buffering (the mq stage provides a dropping publisher so the fast path
+// never blocks, matching the ZeroMQ high-water-mark behaviour).
+type Sink interface {
+	Emit(m *Measurement)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(m *Measurement)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(m *Measurement) { f(m) }
+
+// TSSink receives continuous RTT samples when timestamp tracking is
+// enabled. Same contract as Sink: called from worker goroutines, must not
+// block.
+type TSSink interface {
+	EmitTS(s *TSSample)
+}
+
+// TSSinkFunc adapts a function to the TSSink interface.
+type TSSinkFunc func(s *TSSample)
+
+// EmitTS implements TSSink.
+func (f TSSinkFunc) EmitTS(s *TSSample) { f(s) }
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Port is the packet source. Required.
+	Port *nic.Port
+	// Sink receives measurements. Required.
+	Sink Sink
+	// Table configures each per-queue handshake table (Queue is
+	// overridden per queue).
+	Table TableConfig
+	// Burst is the RxBurst size (default 64, DPDK's conventional burst).
+	Burst int
+	// PollSleep is how long a worker sleeps when a poll comes back empty
+	// (default 50µs). Real DPDK busy-polls; yielding keeps tests and
+	// laptop runs civil while preserving burst dynamics under load.
+	PollSleep time.Duration
+
+	// TSSink, when non-nil, enables continuous RTT tracking from TCP
+	// timestamp echoes (a per-queue TSTracker beside each handshake
+	// table) and receives the samples. TSTable configures the trackers.
+	TSSink  TSSink
+	TSTable TSConfig
+}
+
+// Engine runs one measurement worker per RSS queue (the paper's "DPDK
+// processing threads ... allocated on separate CPU cores").
+type Engine struct {
+	cfg    EngineConfig
+	tables []*HandshakeTable
+
+	mu      sync.Mutex
+	running bool
+}
+
+// NewEngine validates cfg and builds the per-queue state.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Port == nil {
+		return nil, errors.New("core: EngineConfig.Port is required")
+	}
+	if cfg.Sink == nil {
+		return nil, errors.New("core: EngineConfig.Sink is required")
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 64
+	}
+	if cfg.PollSleep <= 0 {
+		cfg.PollSleep = 50 * time.Microsecond
+	}
+	e := &Engine{cfg: cfg}
+	for q := 0; q < cfg.Port.NumQueues(); q++ {
+		tc := cfg.Table
+		tc.Queue = q
+		e.tables = append(e.tables, NewHandshakeTable(tc))
+	}
+	return e, nil
+}
+
+// Tables exposes the per-queue tables (read their stats only from the
+// owning worker or after Run returns).
+func (e *Engine) Tables() []*HandshakeTable { return e.tables }
+
+// Stats aggregates all per-queue table stats. Call after Run has returned
+// (or accept torn counters as monitoring data).
+func (e *Engine) Stats() TableStats {
+	var total TableStats
+	for _, t := range e.tables {
+		s := t.Stats()
+		total.Packets += s.Packets
+		total.SYNs += s.SYNs
+		total.SYNRetrans += s.SYNRetrans
+		total.SYNACKs += s.SYNACKs
+		total.OrphanSYNACKs += s.OrphanSYNACKs
+		total.Completed += s.Completed
+		total.InvalidACKs += s.InvalidACKs
+		total.MidstreamACKs += s.MidstreamACKs
+		total.Aborted += s.Aborted
+		total.Expired += s.Expired
+		total.ExpiredAwait += s.ExpiredAwait
+		total.TableFull += s.TableFull
+		total.Occupancy += s.Occupancy
+	}
+	return total
+}
+
+// Run polls every queue until ctx is cancelled. It blocks; cancel the
+// context to stop. Packets still queued at cancellation are drained.
+func (e *Engine) Run(ctx context.Context) error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return errors.New("core: engine already running")
+	}
+	e.running = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for q := 0; q < e.cfg.Port.NumQueues(); q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			e.runQueue(ctx, q)
+		}(q)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runQueue is the per-core poll loop: RxBurst → parse → handshake table
+// (and, when enabled, the timestamp tracker).
+func (e *Engine) runQueue(ctx context.Context, q int) {
+	var (
+		parser  pkt.Parser
+		sum     pkt.Summary
+		m       Measurement
+		ts      TSSample
+		table   = e.tables[q]
+		tracker *TSTracker
+		bufs    = make([]*nic.Buf, e.cfg.Burst)
+	)
+	if e.cfg.TSSink != nil {
+		tc := e.cfg.TSTable
+		tc.Queue = q
+		tracker = NewTSTracker(tc)
+	}
+	processBurst := func(n int) {
+		for i := 0; i < n; i++ {
+			b := bufs[i]
+			if err := parser.Parse(b.Bytes(), &sum); err == nil && sum.IsTCP() {
+				if table.Process(&sum, b.Timestamp, b.RSSHash, &m) {
+					e.cfg.Sink.Emit(&m)
+				}
+				if tracker != nil && tracker.Process(&sum, b.Timestamp, b.RSSHash, &ts) {
+					e.cfg.TSSink.EmitTS(&ts)
+				}
+			}
+			b.Free()
+		}
+	}
+	for {
+		n, err := e.cfg.Port.RxBurst(q, bufs)
+		if err != nil {
+			return
+		}
+		processBurst(n)
+		if n == 0 {
+			select {
+			case <-ctx.Done():
+				// Final drain: whatever was enqueued before cancel.
+				for {
+					n, _ := e.cfg.Port.RxBurst(q, bufs)
+					if n == 0 {
+						return
+					}
+					processBurst(n)
+				}
+			default:
+				if e.cfg.PollSleep > 0 {
+					time.Sleep(e.cfg.PollSleep)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"net/netip"
+
+	"ruru/internal/pkt"
+)
+
+// TSSample is one continuous RTT observation derived from TCP timestamp
+// echoes (RFC 7323), the pping technique. When host A sends TSval v (seen at
+// the tap at t1) and host B's echo TSecr=v passes the tap at t2, then
+// t2−t1 is the round trip between the tap and B — so the tap measures the
+// *echoer's* side of the path, continuously, for established flows the
+// handshake engine never saw.
+//
+// This extends the paper's handshake-only measurement: setup latency comes
+// from the three-way handshake (Measurement), in-stream latency evolution
+// from timestamp echoes (TSSample).
+type TSSample struct {
+	// Echoer is the host whose side of the path was measured (the sender
+	// of the echo packet); Peer is the other endpoint.
+	Echoer, Peer netip.Addr
+	// EchoerPort and PeerPort complete the tuple.
+	EchoerPort, PeerPort uint16
+	// RTT is the tap↔echoer round trip in nanoseconds; At the tap
+	// timestamp of the echo.
+	RTT int64
+	At  int64
+	// Queue is the observing RSS queue.
+	Queue int
+}
+
+// TSStats counts tracker outcomes.
+type TSStats struct {
+	Packets   uint64 // TCP packets examined
+	NoTS      uint64 // packets without a timestamp option
+	Inserted  uint64 // TSvals registered
+	Samples   uint64 // RTT samples produced
+	Unmatched uint64 // echoes whose TSval was not (or no longer) pending
+	Expired   uint64 // flow entries evicted idle
+	TableFull uint64 // flows not tracked: table at capacity
+	Occupancy uint64 // live flow entries (gauge)
+}
+
+// tsPendingSlots bounds outstanding TSvals per direction per flow. Echoes
+// arrive one RTT after their TSval; values older than the window are
+// overwritten and their (rare, late) echoes counted Unmatched. Eight covers
+// typical request/response flows; deep pipelines trade some sample loss for
+// bounded memory, like pping.
+const tsPendingSlots = 8
+
+type tsPending struct {
+	val  uint32
+	ts   int64
+	used bool
+}
+
+type tsEntry struct {
+	// key is canonically oriented: the endpoint with the lexicographically
+	// smaller (addr, port) is side A.
+	key    FlowKey
+	hash   uint32
+	lastTS int64
+	state  entryState // stateEmpty or stateSYN (used as "live")
+	pendA  [tsPendingSlots]tsPending
+	pendB  [tsPendingSlots]tsPending
+	posA   uint8
+	posB   uint8
+}
+
+// TSConfig configures a TSTracker.
+type TSConfig struct {
+	// Capacity is the number of flow slots (rounded to a power of two,
+	// default 1<<15). Timeout evicts idle flows (default 60s). Queue is
+	// recorded in samples.
+	Capacity int
+	Timeout  int64
+	Queue    int
+}
+
+// TSTracker measures continuous RTT from TCP timestamp echoes for one RSS
+// queue. Like HandshakeTable it is single-writer and allocation-free on the
+// packet path.
+type TSTracker struct {
+	slots   []tsEntry
+	mask    uint32
+	live    int
+	maxLive int
+	timeout int64
+	queue   int
+	stats   TSStats
+
+	sweepPos  uint32
+	lastSweep int64
+}
+
+// NewTSTracker creates a tracker from cfg.
+func NewTSTracker(cfg TSConfig) *TSTracker {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 1 << 15
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60e9
+	}
+	return &TSTracker{
+		slots:   make([]tsEntry, n),
+		mask:    uint32(n - 1),
+		maxLive: n * 85 / 100,
+		timeout: timeout,
+		queue:   cfg.Queue,
+	}
+}
+
+// Stats returns a snapshot of the tracker counters.
+func (t *TSTracker) Stats() TSStats {
+	s := t.stats
+	s.Occupancy = uint64(t.live)
+	return s
+}
+
+// Len returns live flow entries.
+func (t *TSTracker) Len() int { return t.live }
+
+// canonicalKey orients (src,dst) so both directions map to one key;
+// fromA reports whether the packet was sent by side A.
+func canonicalKey(src, dst netip.Addr, sp, dp uint16) (key FlowKey, fromA bool) {
+	if src.Less(dst) || (src == dst && sp <= dp) {
+		return FlowKey{Client: src, Server: dst, ClientPort: sp, ServerPort: dp}, true
+	}
+	return FlowKey{Client: dst, Server: src, ClientPort: dp, ServerPort: sp}, false
+}
+
+func (t *TSTracker) find(hash uint32, key FlowKey) (uint32, bool) {
+	i := mix(hash) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.state == stateEmpty {
+			return i, false
+		}
+		if s.hash == hash && s.key == key {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *TSTracker) remove(i uint32) {
+	t.live--
+	for {
+		t.slots[i] = tsEntry{}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			s := &t.slots[j]
+			if s.state == stateEmpty {
+				return
+			}
+			home := mix(s.hash) & t.mask
+			if (j-home)&t.mask >= (j-i)&t.mask {
+				t.slots[i] = *s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Process examines one parsed TCP packet. When the packet's TSecr matches a
+// pending TSval from the opposite direction, the sample is stored in *out
+// and Process returns true. The packet's own TSval is registered for future
+// echoes. rssHash must be direction-independent (symmetric RSS), as for the
+// handshake table.
+func (t *TSTracker) Process(s *pkt.Summary, ts int64, rssHash uint32, out *TSSample) bool {
+	t.stats.Packets++
+	t.maybeSweep(ts)
+
+	tcp := &s.TCP
+	tsval, tsecr, ok := tcp.TimestampOption()
+	if !ok {
+		t.stats.NoTS++
+		return false
+	}
+	key, fromA := canonicalKey(s.Src(), s.Dst(), tcp.SrcPort, tcp.DstPort)
+
+	idx, found := t.find(rssHash, key)
+	if !found {
+		if tcp.RST() {
+			return false
+		}
+		if t.live >= t.maxLive {
+			t.stats.TableFull++
+			return false
+		}
+		t.slots[idx] = tsEntry{key: key, hash: rssHash, lastTS: ts, state: stateSYN}
+		t.live++
+	}
+	e := &t.slots[idx]
+	e.lastTS = ts
+
+	if tcp.RST() {
+		// Abort: drop state immediately (no further echoes will come).
+		matched := false
+		if tcp.ACK() && tsecr != 0 {
+			matched = t.match(e, fromA, tsecr, ts, s, tcp, out)
+		}
+		t.remove(idx)
+		return matched
+	}
+	// A FIN is NOT a teardown signal here: the close handshake takes
+	// another round trip and echoes of in-flight segments are still
+	// arriving. Idle eviction reclaims the entry.
+
+	matched := false
+	if tcp.ACK() && tsecr != 0 {
+		matched = t.match(e, fromA, tsecr, ts, s, tcp, out)
+	}
+
+	// Register this packet's TSval (pure SYNs included: the SYN-ACK echo
+	// measures the server leg). Skip duplicates within the window so the
+	// first transmission's timestamp is preserved.
+	pend := &e.pendA
+	pos := &e.posA
+	if !fromA {
+		pend = &e.pendB
+		pos = &e.posB
+	}
+	dup := false
+	for i := range pend {
+		if pend[i].used && pend[i].val == tsval {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		pend[*pos] = tsPending{val: tsval, ts: ts, used: true}
+		*pos = (*pos + 1) % tsPendingSlots
+		t.stats.Inserted++
+	}
+	return matched
+}
+
+// match looks up tsecr among the opposite direction's pending TSvals.
+func (t *TSTracker) match(e *tsEntry, fromA bool, tsecr uint32, ts int64, s *pkt.Summary, tcp *pkt.TCP, out *TSSample) bool {
+	// The echo packet came from the sender; it echoes values sent by the
+	// OTHER side. Matching measures the tap↔sender leg.
+	pend := &e.pendB
+	if !fromA {
+		pend = &e.pendA
+	}
+	for i := range pend {
+		p := &pend[i]
+		if p.used && p.val == tsecr {
+			*out = TSSample{
+				Echoer:     s.Src(),
+				Peer:       s.Dst(),
+				EchoerPort: tcp.SrcPort,
+				PeerPort:   tcp.DstPort,
+				RTT:        ts - p.ts,
+				At:         ts,
+				Queue:      t.queue,
+			}
+			p.used = false // first echo only
+			t.stats.Samples++
+			return true
+		}
+	}
+	t.stats.Unmatched++
+	return false
+}
+
+func (t *TSTracker) maybeSweep(now int64) {
+	if t.lastSweep == 0 {
+		t.lastSweep = now
+		return
+	}
+	interval := t.timeout / int64(len(t.slots)/sweepChunk+1)
+	if interval < 1 {
+		interval = 1
+	}
+	if now-t.lastSweep < interval {
+		return
+	}
+	t.lastSweep = now
+	end := t.sweepPos + sweepChunk
+	for i := t.sweepPos; i < end; i++ {
+		t.evictIdleAt(i&t.mask, now)
+	}
+	t.sweepPos = end & t.mask
+}
+
+func (t *TSTracker) evictIdleAt(idx uint32, now int64) {
+	for {
+		s := &t.slots[idx]
+		if s.state == stateEmpty || now-s.lastTS <= t.timeout {
+			return
+		}
+		t.stats.Expired++
+		t.remove(idx)
+	}
+}
+
+// SweepAll synchronously evicts all idle flows.
+func (t *TSTracker) SweepAll(now int64) {
+	for i := uint32(0); i < uint32(len(t.slots)); i++ {
+		t.evictIdleAt(i, now)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ruru/internal/core"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+	"ruru/internal/pkt"
+	"ruru/internal/rss"
+	"ruru/internal/stats"
+)
+
+// E10Result covers the continuous-RTT extension: pping-style RTT samples
+// from TCP timestamp echoes, complementing the paper's handshake-only
+// measurement ("latency for all individual TCP flows" — the handshake gives
+// one sample per flow at setup; timestamp echoes keep measuring for the
+// flow's lifetime). Validated against the generator oracle exactly like E1.
+type E10Result struct {
+	Flows          int // completing, TS-clean flows with data segments
+	ExpectedData   int // oracle: expected external data samples
+	MatchedData    int // samples with the exact oracle RTT
+	WrongData      int // samples off the oracle value
+	TotalSamples   uint64
+	MedianExtMs    float64 // median of external data samples
+	HandshakeExtMs float64 // median handshake external (for comparison)
+
+	// Midstream flows: connections established before the capture. The
+	// handshake engine structurally cannot measure them; the TS tracker
+	// can — the extension's headline capability.
+	MidstreamFlows    int // TS-clean midstream flows with expected echoes
+	MidstreamMeasured int // of those, flows with ≥1 exact RTT sample
+	MidstreamExpected int
+	MidstreamMatched  int
+}
+
+// E10Config parameterizes the experiment.
+type E10Config struct {
+	Seed  int64
+	Flows int // target completing flows (default 10000)
+}
+
+// E10 runs the continuous-RTT validation.
+func E10(cfg E10Config, w io.Writer) (E10Result, error) {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 10000
+	}
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: cfg.Seed})
+	if err != nil {
+		return E10Result{}, err
+	}
+	rate := 2000.0
+	dur := int64(float64(cfg.Flows)/rate*1e9) + 1e9
+	g, err := gen.New(gen.Config{
+		Seed: cfg.Seed, World: world,
+		FlowRate: rate, Duration: dur,
+		// Request/response pacing: data segments spaced beyond the path
+		// RTT so echoes return before the pending window rolls over —
+		// the traffic shape continuous RTT measurement is designed for.
+		DataSegments: 3, DataSpacing: 400e6,
+		// Server think time makes the handshake's external latency
+		// (2·dTS + think) distinct from the data-echo RTT (2·dTS), so
+		// the oracle can tell the two sample kinds apart by value.
+		ServerDelay: 5e6,
+		// Pre-established flows: invisible to the handshake engine,
+		// measurable by the tracker.
+		MidstreamRate:     rate / 10,
+		EmitTCPTimestamps: true,
+	})
+	if err != nil {
+		return E10Result{}, err
+	}
+
+	// Replay through both the handshake engine and the TS tracker, the
+	// way a production queue worker would run them side by side.
+	const queues = 4
+	hasher := rss.NewSymmetric()
+	tables := make([]*core.HandshakeTable, queues)
+	trackers := make([]*core.TSTracker, queues)
+	for q := 0; q < queues; q++ {
+		tables[q] = core.NewHandshakeTable(core.TableConfig{Capacity: 1 << 16, Timeout: 60e9, Queue: q})
+		trackers[q] = core.NewTSTracker(core.TSConfig{Capacity: 1 << 16, Timeout: 60e9, Queue: q})
+	}
+	type flowAgg struct {
+		samples []int64
+	}
+	perFlow := map[core.FlowKey]*flowAgg{}
+	extHist := stats.NewLatencyHist()
+	hsHist := stats.NewLatencyHist()
+
+	var (
+		parser pkt.Parser
+		p      gen.Packet
+		sum    pkt.Summary
+		m      core.Measurement
+		ts     core.TSSample
+		total  uint64
+	)
+	for g.Next(&p) {
+		if err := parser.Parse(p.Frame, &sum); err != nil || !sum.IsTCP() {
+			continue
+		}
+		hash := hasher.HashTuple(sum.Src(), sum.Dst(), sum.TCP.SrcPort, sum.TCP.DstPort)
+		q := rss.Queue(hash, queues)
+		if tables[q].Process(&sum, p.TS, hash, &m) {
+			hsHist.Add(m.External)
+		}
+		if trackers[q].Process(&sum, p.TS, hash, &ts) {
+			total++
+			// Orient: the sample measures the echoer's side. Group by
+			// canonical tuple of the *data* direction (client→server).
+			key := core.FlowKey{Client: ts.Peer, Server: ts.Echoer,
+				ClientPort: ts.PeerPort, ServerPort: ts.EchoerPort}
+			fa := perFlow[key]
+			if fa == nil {
+				fa = &flowAgg{}
+				perFlow[key] = fa
+			}
+			fa.samples = append(fa.samples, ts.RTT)
+		}
+	}
+
+	res := E10Result{TotalSamples: total}
+	for _, tr := range g.Truths() {
+		if !tr.TSClean || tr.TSDataEchoes == 0 {
+			continue
+		}
+		fa := perFlow[tr.Key] // samples where the SERVER echoed
+		if tr.Midstream {
+			res.MidstreamFlows++
+			res.MidstreamExpected += tr.TSDataEchoes
+			if fa == nil {
+				continue
+			}
+			measured := false
+			for _, rtt := range fa.samples {
+				if rtt == tr.TSDataRTT {
+					res.MidstreamMatched++
+					measured = true
+				} else {
+					res.WrongData++
+				}
+			}
+			if measured {
+				res.MidstreamMeasured++
+			}
+			continue
+		}
+		if !tr.Completes {
+			continue
+		}
+		res.Flows++
+		res.ExpectedData += tr.TSDataEchoes
+		if fa == nil {
+			continue
+		}
+		for _, rtt := range fa.samples {
+			// The flow's server-side samples are the data echoes plus
+			// the SYN→SYN-ACK echo (value ExpectedExternal).
+			switch rtt {
+			case tr.TSDataRTT:
+				res.MatchedData++
+				extHist.Add(rtt)
+			case tr.ExpectedExternal:
+				// handshake-derived sample; not a data echo
+			default:
+				res.WrongData++
+			}
+		}
+	}
+	res.MedianExtMs = float64(extHist.Median()) / 1e6
+	res.HandshakeExtMs = float64(hsHist.Median()) / 1e6
+
+	if w != nil {
+		fmt.Fprintf(w, "E10: continuous RTT from TCP timestamp echoes (pping-style extension)\n")
+		fmt.Fprintf(w, "  TS-clean flows with data      %d\n", res.Flows)
+		fmt.Fprintf(w, "  expected data samples         %d\n", res.ExpectedData)
+		fmt.Fprintf(w, "  exact oracle matches          %d (%.2f%%)\n", res.MatchedData, pct(res.MatchedData, res.ExpectedData))
+		fmt.Fprintf(w, "  off-oracle samples            %d\n", res.WrongData)
+		fmt.Fprintf(w, "  total samples (all flows)     %d\n", res.TotalSamples)
+		fmt.Fprintf(w, "  median external: in-stream %.2fms vs handshake %.2fms\n",
+			res.MedianExtMs, res.HandshakeExtMs)
+		fmt.Fprintf(w, "  midstream flows (no handshake observable): %d; measured %d (%.1f%%), %d/%d samples exact\n",
+			res.MidstreamFlows, res.MidstreamMeasured,
+			pct(res.MidstreamMeasured, res.MidstreamFlows),
+			res.MidstreamMatched, res.MidstreamExpected)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ruru/internal/core"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+	"ruru/internal/stats"
+)
+
+// E1Result is the Figure-1 correctness experiment outcome: does the engine
+// report exactly the internal/external/total split the oracle predicts?
+type E1Result struct {
+	Flows        int // completing flows generated
+	Measured     int // flows the engine measured
+	ExactMatches int // measurements equal to the oracle, bit for bit
+	MaxErrorNs   int64
+
+	// Latency distribution of measured totals (sanity panel).
+	MedianInternalMs float64
+	MedianExternalMs float64
+	MedianTotalMs    float64
+
+	// Flows with loss-driven retransmissions, measured correctly.
+	RetransFlows   int
+	RetransCorrect int
+}
+
+// E1Config parameterizes the experiment.
+type E1Config struct {
+	Seed     int64
+	Flows    int     // target completing flows (default 20000)
+	Queues   int     // RSS queues (default 4)
+	SYNLoss  float64 // default 0.02
+	SABLoss  float64 // SYN-ACK loss, default 0.02
+	IPv6Frac float64 // default 0.2
+}
+
+// E1 runs the correctness experiment.
+func E1(cfg E1Config, w io.Writer) (E1Result, error) {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 20000
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 4
+	}
+	if cfg.SYNLoss == 0 {
+		cfg.SYNLoss = 0.02
+	}
+	if cfg.SABLoss == 0 {
+		cfg.SABLoss = 0.02
+	}
+	if cfg.IPv6Frac == 0 {
+		cfg.IPv6Frac = 0.2
+	}
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: cfg.Seed})
+	if err != nil {
+		return E1Result{}, err
+	}
+	rate := 2000.0
+	dur := int64(float64(cfg.Flows)/rate*1e9) + 1e9
+	g, err := gen.New(gen.Config{
+		Seed: cfg.Seed, World: world,
+		FlowRate: rate, Duration: dur,
+		DataSegments: 1, UDPRate: 500, MidstreamRate: 50,
+		SYNLoss: cfg.SYNLoss, SYNACKLoss: cfg.SABLoss,
+		IPv6Fraction: cfg.IPv6Frac,
+	})
+	if err != nil {
+		return E1Result{}, err
+	}
+
+	measured := map[core.FlowKey]core.Measurement{}
+	rep := Replay{
+		Queues: cfg.Queues,
+		Table:  core.TableConfig{Capacity: 1 << 17, Timeout: 60e9},
+		OnMeasure: func(m *core.Measurement) {
+			measured[m.Flow] = *m
+		},
+	}
+	rep.Run(g)
+
+	res := E1Result{}
+	histI, histE, histT := stats.NewLatencyHist(), stats.NewLatencyHist(), stats.NewLatencyHist()
+	for _, tr := range g.Truths() {
+		if !tr.Completes {
+			continue
+		}
+		res.Flows++
+		m, ok := measured[tr.Key]
+		if !ok {
+			continue
+		}
+		res.Measured++
+		errI := abs64(m.Internal - tr.ExpectedInternal)
+		errE := abs64(m.External - tr.ExpectedExternal)
+		if errI == 0 && errE == 0 {
+			res.ExactMatches++
+		}
+		if errI > res.MaxErrorNs {
+			res.MaxErrorNs = errI
+		}
+		if errE > res.MaxErrorNs {
+			res.MaxErrorNs = errE
+		}
+		if tr.SYNRetrans > 0 || tr.SYNACKRetrans > 0 {
+			res.RetransFlows++
+			if errI == 0 && errE == 0 {
+				res.RetransCorrect++
+			}
+		}
+		histI.Add(m.Internal)
+		histE.Add(m.External)
+		histT.Add(m.Total)
+	}
+	res.MedianInternalMs = float64(histI.Median()) / 1e6
+	res.MedianExternalMs = float64(histE.Median()) / 1e6
+	res.MedianTotalMs = float64(histT.Median()) / 1e6
+
+	if w != nil {
+		fmt.Fprintf(w, "E1: handshake latency calculation correctness (Figure 1)\n")
+		fmt.Fprintf(w, "  completing flows        %d\n", res.Flows)
+		fmt.Fprintf(w, "  measured                %d (%.2f%%)\n", res.Measured, pct(res.Measured, res.Flows))
+		fmt.Fprintf(w, "  exact oracle matches    %d (%.2f%%)\n", res.ExactMatches, pct(res.ExactMatches, res.Measured))
+		fmt.Fprintf(w, "  max abs error           %d ns\n", res.MaxErrorNs)
+		fmt.Fprintf(w, "  flows w/ retransmission %d (correct: %d)\n", res.RetransFlows, res.RetransCorrect)
+		fmt.Fprintf(w, "  median internal/external/total  %.2f / %.2f / %.2f ms\n",
+			res.MedianInternalMs, res.MedianExternalMs, res.MedianTotalMs)
+	}
+	return res, nil
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ruru/internal/anomaly"
+	"ruru/internal/core"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+)
+
+// E5Result covers the paper's other real-time detection claims (§3):
+// SYN floods and unusual connection counts between two locations.
+type E5Result struct {
+	// SYN flood detection.
+	FloodStart        int64 // ground truth, ns
+	FloodDetected     bool
+	FloodDetectAt     int64 // detection bucket timestamp
+	FloodDetectDelayS float64
+	FloodFalseAlarms  int // alarms outside [start, end+grace]
+
+	// Connection surge detection.
+	SurgeStart        int64
+	SurgeDetected     bool
+	SurgeDetectAt     int64
+	SurgeDetectDelayS float64
+	SurgeFalseAlarms  int
+}
+
+// E5Config parameterizes the detection experiment.
+type E5Config struct {
+	Seed      int64
+	FlowRate  float64 // background flows/s (default 100)
+	Duration  int64   // default 120s
+	FloodAt   int64   // default 60s
+	FloodLen  int64   // default 10s
+	FloodRate float64 // default 5000 SYN/s
+	SurgeAt   int64   // default 70s
+	SurgeLen  int64   // default 10s
+	SurgeRate float64 // default 800 conn/s
+}
+
+// E5 runs flood + surge detection over the full measurement path.
+func E5(cfg E5Config, w io.Writer) (E5Result, error) {
+	if cfg.FlowRate <= 0 {
+		cfg.FlowRate = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 120e9
+	}
+	if cfg.FloodAt <= 0 {
+		cfg.FloodAt = 60e9
+	}
+	if cfg.FloodLen <= 0 {
+		cfg.FloodLen = 10e9
+	}
+	if cfg.FloodRate <= 0 {
+		cfg.FloodRate = 5000
+	}
+	if cfg.SurgeAt <= 0 {
+		cfg.SurgeAt = 70e9
+	}
+	if cfg.SurgeLen <= 0 {
+		cfg.SurgeLen = 10e9
+	}
+	if cfg.SurgeRate <= 0 {
+		cfg.SurgeRate = 800
+	}
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: cfg.Seed})
+	if err != nil {
+		return E5Result{}, err
+	}
+	g, err := gen.New(gen.Config{
+		Seed: cfg.Seed, World: world,
+		FlowRate: cfg.FlowRate, Duration: cfg.Duration,
+		Floods: []gen.FloodSpec{
+			// Ambient scanning noise throughout: the baseline.
+			{Start: 0, Duration: cfg.Duration, Rate: 5, SrcCity: 12, DstCity: 3},
+			// The attack.
+			{Start: cfg.FloodAt, Duration: cfg.FloodLen, Rate: cfg.FloodRate, SrcCity: 4, DstCity: 1},
+		},
+		Surges: []gen.SurgeSpec{
+			{Start: cfg.SurgeAt, Duration: cfg.SurgeLen, Rate: cfg.SurgeRate, SrcCity: 12, DstCity: 14},
+		},
+	})
+	if err != nil {
+		return E5Result{}, err
+	}
+
+	// Short handshake timeout so unanswered SYNs become flood signal
+	// quickly — this is the operational knob for detection latency.
+	const timeout = 3e9
+	flood := anomaly.NewFloodDetector(anomaly.FloodConfig{
+		BucketNs: 1e9, MinCount: 100, Ratio: 8, WarmupBuckets: 5,
+	})
+	surge := anomaly.NewSurgeDetector(anomaly.SurgeConfig{
+		BucketNs: 1e9, MinCount: 50, Ratio: 6, WarmupBuckets: 5,
+	})
+	rep := Replay{
+		Queues: 4,
+		Table: core.TableConfig{
+			Capacity: 1 << 17, Timeout: timeout,
+			OnExpire: func(lastTS int64, awaiting bool) {
+				if awaiting {
+					flood.ObserveUnanswered(lastTS)
+				}
+			},
+		},
+		OnMeasure: func(m *core.Measurement) {
+			pair := "?"
+			if cs, ok := world.CityOf(m.Flow.Client); ok {
+				if cd, ok := world.CityOf(m.Flow.Server); ok {
+					pair = cs.Name + "→" + cd.Name
+				}
+			}
+			surge.Observe(pair, m.ACKTime)
+		},
+	}
+	rep.Run(g)
+	flood.Flush()
+	surge.Flush()
+
+	res := E5Result{FloodStart: cfg.FloodAt, SurgeStart: cfg.SurgeAt}
+	for _, ev := range flood.Events() {
+		// Event time is in expiry-timestamp space: the flood SYN's last
+		// activity. Compare against the flood window itself.
+		if ev.Time >= cfg.FloodAt-2e9 && ev.Time <= cfg.FloodAt+cfg.FloodLen+2*timeout {
+			if !res.FloodDetected {
+				res.FloodDetected = true
+				res.FloodDetectAt = ev.Time
+				// Detection delay includes the handshake timeout: SYNs
+				// must expire before they count as unanswered.
+				res.FloodDetectDelayS = float64(ev.Time-cfg.FloodAt)/1e9 + float64(timeout)/1e9
+			}
+		} else {
+			res.FloodFalseAlarms++
+		}
+	}
+	for _, ev := range surge.Events() {
+		if ev.Time >= cfg.SurgeAt-2e9 && ev.Time <= cfg.SurgeAt+cfg.SurgeLen+5e9 {
+			if !res.SurgeDetected {
+				res.SurgeDetected = true
+				res.SurgeDetectAt = ev.Time
+				res.SurgeDetectDelayS = float64(ev.Time-cfg.SurgeAt) / 1e9
+			}
+		} else {
+			res.SurgeFalseAlarms++
+		}
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "E5: real-time SYN flood and connection-surge detection (§3)\n")
+		fmt.Fprintf(w, "  flood injected at t=%ds (%.0f SYN/s for %ds), handshake timeout %ds\n",
+			cfg.FloodAt/1e9, cfg.FloodRate, cfg.FloodLen/1e9, int64(timeout)/1e9)
+		if res.FloodDetected {
+			fmt.Fprintf(w, "  flood detected              yes, ~%.1fs after onset (0 false alarms: %v)\n",
+				res.FloodDetectDelayS, res.FloodFalseAlarms == 0)
+		} else {
+			fmt.Fprintf(w, "  flood detected              NO\n")
+		}
+		fmt.Fprintf(w, "  surge injected at t=%ds (%.0f conn/s for %ds)\n",
+			cfg.SurgeAt/1e9, cfg.SurgeRate, cfg.SurgeLen/1e9)
+		if res.SurgeDetected {
+			fmt.Fprintf(w, "  surge detected              yes, ~%.1fs after onset (0 false alarms: %v)\n",
+				res.SurgeDetectDelayS, res.SurgeFalseAlarms == 0)
+		} else {
+			fmt.Fprintf(w, "  surge detected              NO\n")
+		}
+	}
+	return res, nil
+}

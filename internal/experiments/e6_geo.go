@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ruru/internal/geo"
+)
+
+// E6Row is one point of the geolocation accuracy/throughput experiment
+// (paper §2 quotes IP2Location's "98% country-level accuracy"; here the
+// database's mislabel rate is a controlled variable, so the quoted accuracy
+// becomes a measured quantity).
+type E6Row struct {
+	MislabelFraction float64
+	Lookups          int
+	CountryAccuracy  float64 // fraction of lookups with correct country
+	CityAccuracy     float64
+	NsPerLookup      float64
+}
+
+// E6Config parameterizes the sweep.
+type E6Config struct {
+	Seed      int64
+	Fractions []float64 // default {0, 0.02, 0.05, 0.10}
+	Lookups   int       // default 200k
+}
+
+// E6 runs the sweep.
+func E6(cfg E6Config, w io.Writer) ([]E6Row, error) {
+	if len(cfg.Fractions) == 0 {
+		cfg.Fractions = []float64{0, 0.02, 0.05, 0.10}
+	}
+	if cfg.Lookups <= 0 {
+		cfg.Lookups = 200_000
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E6: geolocation database accuracy and lookup throughput (IP2Location substitute)\n")
+		fmt.Fprintf(w, "  %-10s %10s %12s %12s %12s\n", "mislabel", "lookups", "country-acc", "city-acc", "ns/lookup")
+	}
+	rows := make([]E6Row, 0, len(cfg.Fractions))
+	for _, frac := range cfg.Fractions {
+		world, err := geo.NewWorld(geo.WorldOptions{Seed: cfg.Seed, MislabelFraction: frac})
+		if err != nil {
+			return rows, err
+		}
+		db := world.DB()
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		// Pre-draw addresses so RNG cost stays out of the timing.
+		type probe struct {
+			addr    netip.Addr
+			city    string
+			country string
+		}
+		probes := make([]probe, cfg.Lookups)
+		for i := range probes {
+			ci := rng.Intn(len(world.Cities))
+			slot := rng.Intn(4)
+			var a netip.Addr
+			if i%5 == 0 { // 20% IPv6, like the traffic mix
+				a = world.Addr6(ci, slot, rng.Uint64())
+			} else {
+				a = world.Addr(ci, slot, rng.Uint32())
+			}
+			probes[i] = probe{addr: a, city: world.Cities[ci].Name, country: world.Cities[ci].CountryCode}
+		}
+		countryOK, cityOK := 0, 0
+		start := time.Now()
+		for i := range probes {
+			rec, ok := db.Lookup(probes[i].addr)
+			if !ok {
+				continue
+			}
+			if rec.CountryCode == probes[i].country {
+				countryOK++
+			}
+			if rec.City == probes[i].city {
+				cityOK++
+			}
+		}
+		elapsed := time.Since(start)
+		row := E6Row{
+			MislabelFraction: frac,
+			Lookups:          cfg.Lookups,
+			CountryAccuracy:  float64(countryOK) / float64(cfg.Lookups),
+			CityAccuracy:     float64(cityOK) / float64(cfg.Lookups),
+			NsPerLookup:      float64(elapsed.Nanoseconds()) / float64(cfg.Lookups),
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "  %-10.2f %10d %11.2f%% %11.2f%% %12.1f\n",
+				frac, row.Lookups, 100*row.CountryAccuracy, 100*row.CityAccuracy, row.NsPerLookup)
+		}
+	}
+	return rows, nil
+}

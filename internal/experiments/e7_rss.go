@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ruru/internal/core"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+	"ruru/internal/rss"
+)
+
+// E7Row is one point of the symmetric-RSS ablation (paper §2: "we configure
+// symmetric Receiver Side Scaling (RSS)"). An asymmetric key breaks the
+// pipeline in two distinct ways, and the ablation separates them:
+//
+//  1. Table indexing: Ruru reuses the NIC's RSS hash as the flow-table
+//     index. With an asymmetric key the SYN-ACK's reverse-tuple hash differs
+//     from the SYN's, so the lookup itself fails — handshake matching
+//     collapses even on a single queue ("microsoft/hash-reuse").
+//  2. Queue co-location: even if software recomputes a symmetric hash for
+//     the table (extra per-packet work, "microsoft/sw-rehash"), the two
+//     directions still land on different queues ~ (Q-1)/Q of the time, and
+//     per-queue tables can't see each other's state.
+//
+// Only the symmetric key gives both correct lookups and co-location for
+// free — which is the design decision the paper states in one sentence.
+type E7Row struct {
+	Queues     int
+	Config     string // "symmetric", "microsoft/hash-reuse", "microsoft/sw-rehash"
+	Flows      int
+	Completed  uint64
+	MatchRate  float64
+	OrphanedSA uint64 // SYN-ACKs finding no SYN state on their queue
+}
+
+// E7Config parameterizes the ablation.
+type E7Config struct {
+	Seed      int64
+	QueueList []int // default {1, 2, 4, 8}
+	Flows     int   // default 20000
+}
+
+// E7 runs the ablation.
+func E7(cfg E7Config, w io.Writer) ([]E7Row, error) {
+	if len(cfg.QueueList) == 0 {
+		cfg.QueueList = []int{1, 2, 4, 8}
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 20000
+	}
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E7: symmetric vs asymmetric RSS ablation (per-queue tables, no shared state)\n")
+		fmt.Fprintf(w, "  %-7s %-22s %9s %11s %11s %12s\n", "queues", "config", "flows", "completed", "match-rate", "orphan-SA")
+	}
+	sym := rss.NewSymmetric()
+	ms := rss.New(rss.MicrosoftKey)
+	configs := []struct {
+		name         string
+		queueH, tblH *rss.Hasher
+	}{
+		{"symmetric", sym, sym},
+		{"microsoft/hash-reuse", ms, ms},
+		{"microsoft/sw-rehash", ms, sym},
+	}
+	var rows []E7Row
+	for _, q := range cfg.QueueList {
+		for _, c := range configs {
+			rate := 2000.0
+			dur := int64(float64(cfg.Flows)/rate*1e9) + 1e9
+			g, err := gen.New(gen.Config{
+				Seed: cfg.Seed, World: world,
+				FlowRate: rate, Duration: dur,
+			})
+			if err != nil {
+				return rows, err
+			}
+			rep := Replay{
+				Queues:      q,
+				Hasher:      c.queueH,
+				TableHasher: c.tblH,
+				Table:       core.TableConfig{Capacity: 1 << 17, Timeout: 60e9},
+			}
+			st := rep.Run(g)
+			flows := 0
+			for _, tr := range g.Truths() {
+				if tr.Completes {
+					flows++
+				}
+			}
+			row := E7Row{
+				Queues: q, Config: c.name, Flows: flows,
+				Completed:  st.Tables.Completed,
+				OrphanedSA: st.Tables.OrphanSYNACKs,
+			}
+			if flows > 0 {
+				row.MatchRate = float64(row.Completed) / float64(flows)
+			}
+			rows = append(rows, row)
+			if w != nil {
+				fmt.Fprintf(w, "  %-7d %-22s %9d %11d %10.1f%% %12d\n",
+					row.Queues, row.Config, row.Flows, row.Completed, 100*row.MatchRate, row.OrphanedSA)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ruru/internal/tsdb"
+)
+
+// E8Result measures the storage stage: ingest rate for geo-tagged latency
+// points and latency of the Grafana-panel query shapes (paper §2: min/max/
+// median/mean over a required time interval, indexed by geo/AS).
+type E8Result struct {
+	Points       int
+	IngestPerSec float64
+	Series       int
+	QueryResults []E8Query
+}
+
+// E8Query is one measured query shape.
+type E8Query struct {
+	Name    string
+	Latency time.Duration
+	Groups  int
+}
+
+// E8Config parameterizes the benchmark.
+type E8Config struct {
+	Seed   int64
+	Points int // default 500k
+}
+
+// E8 runs the storage benchmark.
+func E8(cfg E8Config, w io.Writer) (E8Result, error) {
+	if cfg.Points <= 0 {
+		cfg.Points = 500_000
+	}
+	db := tsdb.Open(tsdb.Options{ShardDuration: 600e9})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cities := []string{"Auckland", "Wellington", "Christchurch", "Sydney", "Tokyo", "Singapore", "London"}
+	dsts := []string{"Los Angeles", "San Francisco", "Seattle", "New York"}
+
+	start := time.Now()
+	p := tsdb.Point{Name: "latency"}
+	for i := 0; i < cfg.Points; i++ {
+		src := cities[rng.Intn(len(cities))]
+		dst := dsts[rng.Intn(len(dsts))]
+		total := 100 + rng.Float64()*200
+		p.Tags = p.Tags[:0]
+		p.Tags = append(p.Tags,
+			tsdb.Tag{Key: "src_city", Value: src},
+			tsdb.Tag{Key: "dst_city", Value: dst},
+			tsdb.Tag{Key: "dst_asn", Value: fmt.Sprint(64000 + rng.Intn(16))},
+		)
+		p.Fields = p.Fields[:0]
+		p.Fields = append(p.Fields,
+			tsdb.Field{Key: "internal_ms", Value: total * 0.1},
+			tsdb.Field{Key: "external_ms", Value: total * 0.9},
+			tsdb.Field{Key: "total_ms", Value: total},
+		)
+		p.Time = int64(i) * 2e6 // 500 points/s of virtual time
+		if err := db.Write(&p); err != nil {
+			return E8Result{}, err
+		}
+	}
+	ingestElapsed := time.Since(start)
+	res := E8Result{
+		Points:       cfg.Points,
+		IngestPerSec: float64(cfg.Points) / ingestElapsed.Seconds(),
+		Series:       db.SeriesCount(),
+	}
+
+	end := int64(cfg.Points) * 2e6
+	queries := []struct {
+		name string
+		q    tsdb.Query
+	}{
+		{"full-range min/max/mean/median", tsdb.Query{
+			Measurement: "latency", Field: "total_ms", Start: 0, End: end,
+			Aggs: []tsdb.AggKind{tsdb.AggMin, tsdb.AggMax, tsdb.AggMean, tsdb.AggMedian},
+		}},
+		{"windowed (60s buckets) mean", tsdb.Query{
+			Measurement: "latency", Field: "total_ms", Start: 0, End: end, Window: 60e9,
+			Aggs: []tsdb.AggKind{tsdb.AggMean},
+		}},
+		{"group-by src_city p95/p99", tsdb.Query{
+			Measurement: "latency", Field: "total_ms", Start: 0, End: end,
+			GroupBy: "src_city", Aggs: []tsdb.AggKind{tsdb.AggP95, tsdb.AggP99},
+		}},
+		{"filtered city pair, windowed", tsdb.Query{
+			Measurement: "latency", Field: "external_ms", Start: 0, End: end, Window: 60e9,
+			Where: []tsdb.Tag{{Key: "src_city", Value: "Auckland"}, {Key: "dst_city", Value: "Los Angeles"}},
+			Aggs:  []tsdb.AggKind{tsdb.AggMedian},
+		}},
+	}
+	for _, qq := range queries {
+		qStart := time.Now()
+		out, err := db.Execute(qq.q)
+		if err != nil {
+			return res, err
+		}
+		res.QueryResults = append(res.QueryResults, E8Query{
+			Name: qq.name, Latency: time.Since(qStart), Groups: len(out),
+		})
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "E8: time-series storage (InfluxDB substitute; %d points, %d series)\n", res.Points, res.Series)
+		fmt.Fprintf(w, "  ingest                     %.0f points/s\n", res.IngestPerSec)
+		for _, q := range res.QueryResults {
+			fmt.Fprintf(w, "  query: %-34s %10s (%d groups)\n", q.Name, q.Latency.Round(time.Microsecond), q.Groups)
+		}
+	}
+	return res, nil
+}

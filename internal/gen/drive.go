@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"io"
+
+	"ruru/internal/nic"
+	"ruru/internal/pcap"
+)
+
+// RunToPort streams the whole generated trace into port via the fast
+// InjectTuple path (the generator already knows each packet's 4-tuple).
+// Returns the number of packets injected. If pace is true, injection
+// busy-waits so queue overflow reflects worker speed rather than arrival
+// order; with pace false (default for correctness tests) injection retries
+// until the port accepts each packet, so nothing is lost.
+func (g *Generator) RunToPort(port *nic.Port, pace bool) int {
+	var p Packet
+	n := 0
+	for g.Next(&p) {
+		if pace {
+			port.InjectTuple(p.Frame, p.TS, p.Src, p.Dst, p.SrcPort, p.DstPort)
+			n++
+			continue
+		}
+		for {
+			before := port.Stats()
+			port.InjectTuple(p.Frame, p.TS, p.Src, p.Dst, p.SrcPort, p.DstPort)
+			after := port.Stats()
+			if after.Ipackets > before.Ipackets || after.Ierrors > before.Ierrors {
+				break
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// WritePcap streams the whole generated trace into a pcap file.
+// Returns the number of packets written.
+func (g *Generator) WritePcap(w io.Writer) (int, error) {
+	pw, err := pcap.NewWriter(w, 0)
+	if err != nil {
+		return 0, err
+	}
+	var p Packet
+	n := 0
+	for g.Next(&p) {
+		if err := pw.WritePacket(p.TS, p.Frame); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, pw.Flush()
+}
+
+// TracePacket is one pre-rendered packet with its own frame copy, used by
+// benchmarks that need to replay the identical stream repeatedly without
+// paying generation cost inside the timed region.
+type TracePacket struct {
+	TS               int64
+	Frame            []byte
+	Src, Dst         [16]byte // netip bytes to keep the struct flat
+	SrcPort, DstPort uint16
+	Is6              bool
+	Kind             PacketKind
+}
+
+// Render materializes the full stream into memory.
+func (g *Generator) Render() []TracePacket {
+	var out []TracePacket
+	var p Packet
+	for g.Next(&p) {
+		frame := make([]byte, len(p.Frame))
+		copy(frame, p.Frame)
+		tp := TracePacket{
+			TS: p.TS, Frame: frame,
+			SrcPort: p.SrcPort, DstPort: p.DstPort,
+			Is6:  p.Src.Is6() && !p.Src.Is4In6(),
+			Kind: p.Kind,
+		}
+		tp.Src = p.Src.As16()
+		tp.Dst = p.Dst.As16()
+		out = append(out, tp)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package geo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary database format ("RGDB"), the stand-in for the IP2Location .BIN
+// download. Layout, all little-endian:
+//
+//	magic   [4]byte  "RGDB"
+//	version uint16   (1)
+//	nRec    uint32
+//	nV4     uint32
+//	nV6     uint32
+//	records: per record — countryCode, country, city, asName as
+//	         (uint16 len + bytes); lat, lon float64; asn uint32
+//	v4 ranges: start uint32, end uint32, rec uint32   (sorted by start)
+//	v6 ranges: start [16]byte, end [16]byte, rec uint32 (sorted by start)
+const (
+	formatMagic   = "RGDB"
+	formatVersion = 1
+)
+
+// WriteTo serializes the builder's contents (validated and sorted via Build)
+// in RGDB format.
+func (b *Builder) WriteTo(w io.Writer) (int64, error) {
+	db, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+	return db.WriteTo(w)
+}
+
+// WriteTo serializes the database in RGDB format.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := cw.Write([]byte(formatMagic)); err != nil {
+		return cw.n, err
+	}
+	writeU16 := func(v uint16) error {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		_, err := cw.Write(b[:])
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, err := cw.Write(b[:])
+		return err
+	}
+	writeStr := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("geo: string too long (%d bytes)", len(s))
+		}
+		if err := writeU16(uint16(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+	writeF64 := func(v float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, err := cw.Write(b[:])
+		return err
+	}
+	if err := writeU16(formatVersion); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(uint32(len(db.records))); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(uint32(len(db.v4))); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(uint32(len(db.v6))); err != nil {
+		return cw.n, err
+	}
+	for _, r := range db.records {
+		for _, s := range []string{r.CountryCode, r.Country, r.City, r.ASName} {
+			if err := writeStr(s); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeF64(r.Lat); err != nil {
+			return cw.n, err
+		}
+		if err := writeF64(r.Lon); err != nil {
+			return cw.n, err
+		}
+		if err := writeU32(r.ASN); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, r := range db.v4 {
+		if err := writeU32(r.start); err != nil {
+			return cw.n, err
+		}
+		if err := writeU32(r.end); err != nil {
+			return cw.n, err
+		}
+		if err := writeU32(r.rec); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, r := range db.v6 {
+		if _, err := cw.Write(r.start[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(r.end[:]); err != nil {
+			return cw.n, err
+		}
+		if err := writeU32(r.rec); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Read deserializes an RGDB database.
+func Read(r io.Reader) (*DB, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadFormat
+	}
+	if string(magic[:]) != formatMagic {
+		return nil, ErrBadFormat
+	}
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, ErrBadFormat
+		}
+		return binary.LittleEndian.Uint16(b[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, ErrBadFormat
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU16()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", ErrBadFormat
+		}
+		return string(b), nil
+	}
+	readF64 := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, ErrBadFormat
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, ver)
+	}
+	nRec, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	nV4, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	nV6, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxEntries = 1 << 26 // refuse absurd headers before allocating
+	if nRec > maxEntries || nV4 > maxEntries || nV6 > maxEntries {
+		return nil, ErrBadFormat
+	}
+	db := &DB{
+		records: make([]Record, nRec),
+		v4:      make([]v4range, nV4),
+		v6:      make([]v6range, nV6),
+	}
+	for i := range db.records {
+		rec := &db.records[i]
+		for _, dst := range []*string{&rec.CountryCode, &rec.Country, &rec.City, &rec.ASName} {
+			if *dst, err = readStr(); err != nil {
+				return nil, err
+			}
+		}
+		if rec.Lat, err = readF64(); err != nil {
+			return nil, err
+		}
+		if rec.Lon, err = readF64(); err != nil {
+			return nil, err
+		}
+		if rec.ASN, err = readU32(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range db.v4 {
+		if db.v4[i].start, err = readU32(); err != nil {
+			return nil, err
+		}
+		if db.v4[i].end, err = readU32(); err != nil {
+			return nil, err
+		}
+		if db.v4[i].rec, err = readU32(); err != nil {
+			return nil, err
+		}
+		if db.v4[i].rec >= nRec {
+			return nil, ErrBadFormat
+		}
+		if i > 0 && db.v4[i].start <= db.v4[i-1].end {
+			return nil, ErrOverlap
+		}
+	}
+	for i := range db.v6 {
+		if _, err := io.ReadFull(br, db.v6[i].start[:]); err != nil {
+			return nil, ErrBadFormat
+		}
+		if _, err := io.ReadFull(br, db.v6[i].end[:]); err != nil {
+			return nil, ErrBadFormat
+		}
+		if db.v6[i].rec, err = readU32(); err != nil {
+			return nil, err
+		}
+		if db.v6[i].rec >= nRec {
+			return nil, ErrBadFormat
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,305 @@
+// Package nic implements the poll-mode packet I/O substrate that stands in
+// for DPDK in this reproduction. It mirrors the parts of the DPDK dataplane
+// Ruru's pipeline is built on:
+//
+//   - a Mempool of fixed-size packet buffers with explicit alloc/free
+//     (rte_mempool / rte_mbuf),
+//   - a Port with N receive queues fed through RSS (rte_eth_dev with an
+//     RSS-configured rx queue set), and
+//   - a burst receive API, RxBurst, the analogue of rte_eth_rx_burst.
+//
+// Traffic sources (the synthetic generator, the pcap replayer) inject frames
+// with Port.Inject, which classifies them onto a queue by Toeplitz hash of
+// the 4-tuple — bit-exact with what NIC hardware RSS would do — and hands the
+// buffer to that queue's SPSC ring. Worker cores poll their queue with
+// RxBurst and return buffers to the pool when done. When a queue overflows,
+// the frame is dropped and counted in Stats.Imissed, the same back-pressure
+// signal a real NIC exposes.
+package nic
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+
+	"ruru/internal/pkt"
+	"ruru/internal/ring"
+	"ruru/internal/rss"
+)
+
+// Errors returned by the package.
+var (
+	ErrPoolExhausted = errors.New("nic: mempool exhausted")
+	ErrFrameTooBig   = errors.New("nic: frame exceeds buffer size")
+	ErrBadQueue      = errors.New("nic: queue index out of range")
+)
+
+// Buf is a packet buffer: the rte_mbuf analogue. Data is a fixed-capacity
+// slice owned by the Mempool; Len bytes of it are valid. Timestamp is the
+// capture timestamp in nanoseconds on the source's clock (sub-microsecond
+// resolution, as in the paper). RSSHash is the Toeplitz hash computed at
+// injection, which the measurement engine reuses to index its flow tables.
+type Buf struct {
+	Data      []byte
+	Len       int
+	Timestamp int64
+	RSSHash   uint32
+
+	pool *Mempool
+}
+
+// Bytes returns the valid frame contents.
+func (b *Buf) Bytes() []byte { return b.Data[:b.Len] }
+
+// Free returns the buffer to its mempool. The buffer must not be used after
+// Free. Double frees are detected by the pool in tests via accounting.
+func (b *Buf) Free() { b.pool.put(b) }
+
+// Mempool is a fixed-size pool of packet buffers. Allocation never touches
+// the Go heap after construction: buffers circulate between the pool, the
+// queues and the workers.
+type Mempool struct {
+	free    chan *Buf
+	bufSize int
+	size    int
+
+	allocFail atomic.Uint64
+}
+
+// NewMempool creates a pool of n buffers of bufSize bytes each.
+func NewMempool(n, bufSize int) *Mempool {
+	p := &Mempool{
+		free:    make(chan *Buf, n),
+		bufSize: bufSize,
+		size:    n,
+	}
+	backing := make([]byte, n*bufSize) // single allocation, like a hugepage arena
+	for i := 0; i < n; i++ {
+		p.free <- &Buf{
+			Data: backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize],
+			pool: p,
+		}
+	}
+	return p
+}
+
+// Get allocates a buffer, or nil if the pool is exhausted (counted).
+func (p *Mempool) Get() *Buf {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		p.allocFail.Add(1)
+		return nil
+	}
+}
+
+func (p *Mempool) put(b *Buf) {
+	b.Len = 0
+	b.Timestamp = 0
+	b.RSSHash = 0
+	p.free <- b
+}
+
+// Size returns the pool capacity; Available the buffers currently free;
+// AllocFailures the number of failed Gets.
+func (p *Mempool) Size() int             { return p.size }
+func (p *Mempool) Available() int        { return len(p.free) }
+func (p *Mempool) BufSize() int          { return p.bufSize }
+func (p *Mempool) AllocFailures() uint64 { return p.allocFail.Load() }
+
+// Stats holds port-level counters matching the rte_eth_stats fields Ruru
+// monitors.
+type Stats struct {
+	Ipackets uint64 // frames successfully enqueued
+	Ibytes   uint64 // bytes successfully enqueued
+	Imissed  uint64 // frames dropped: queue full
+	Ierrors  uint64 // frames dropped: malformed (no parseable tuple)
+	NoMbuf   uint64 // frames dropped: mempool exhausted
+}
+
+// PortConfig configures a Port.
+type PortConfig struct {
+	// Queues is the number of RX queues (≥1): the paper's per-core DPDK
+	// receiver queues.
+	Queues int
+	// QueueDepth is the per-queue ring capacity (power of two).
+	QueueDepth int
+	// Pool provides packet buffers. Required.
+	Pool *Mempool
+	// Hasher computes the RSS hash. Defaults to the symmetric key,
+	// matching Ruru's production configuration.
+	Hasher *rss.Hasher
+}
+
+// Port is the receive side of the virtual NIC.
+type Port struct {
+	queues []*ring.Ring[*Buf]
+	pool   *Mempool
+	hasher *rss.Hasher
+
+	ipackets atomic.Uint64
+	ibytes   atomic.Uint64
+	imissed  atomic.Uint64
+	ierrors  atomic.Uint64
+	nombuf   atomic.Uint64
+
+	// scratch parser used only on the injection path (single producer).
+	parser pkt.Parser
+}
+
+// NewPort creates a port with the given configuration.
+func NewPort(cfg PortConfig) (*Port, error) {
+	if cfg.Queues < 1 {
+		return nil, fmt.Errorf("nic: need at least one queue, got %d", cfg.Queues)
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("nic: PortConfig.Pool is required")
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 4096
+	}
+	h := cfg.Hasher
+	if h == nil {
+		h = rss.NewSymmetric()
+	}
+	p := &Port{
+		queues: make([]*ring.Ring[*Buf], cfg.Queues),
+		pool:   cfg.Pool,
+		hasher: h,
+	}
+	for i := range p.queues {
+		r, err := ring.New[*Buf](depth)
+		if err != nil {
+			return nil, err
+		}
+		p.queues[i] = r
+	}
+	return p, nil
+}
+
+// NumQueues returns the number of RX queues.
+func (p *Port) NumQueues() int { return len(p.queues) }
+
+// Inject delivers one frame to the port as if it arrived on the wire at
+// timestamp ts (nanoseconds). The frame is copied into a pool buffer,
+// classified by RSS hash, and enqueued on the owning queue. Injection is
+// single-producer: one traffic source goroutine per port.
+func (p *Port) Inject(frame []byte, ts int64) {
+	if len(frame) > p.pool.bufSize {
+		p.ierrors.Add(1)
+		return
+	}
+	var s pkt.Summary
+	hash := uint32(0)
+	if err := p.parser.Parse(frame, &s); err == nil {
+		switch {
+		case s.Decoded&pkt.LayerTCP != 0:
+			hash = p.hasher.HashTuple(s.Src(), s.Dst(), s.TCP.SrcPort, s.TCP.DstPort)
+		case s.Decoded&pkt.LayerUDP != 0:
+			hash = p.hasher.HashTuple(s.Src(), s.Dst(), s.UDP.SrcPort, s.UDP.DstPort)
+		case s.Decoded&(pkt.LayerIPv4|pkt.LayerIPv6) != 0:
+			hash = p.hasher.HashTuple(s.Src(), s.Dst(), 0, 0)
+		}
+	}
+	b := p.pool.Get()
+	if b == nil {
+		p.nombuf.Add(1)
+		return
+	}
+	b.Len = copy(b.Data, frame)
+	b.Timestamp = ts
+	b.RSSHash = hash
+	q := rss.Queue(hash, len(p.queues))
+	if !p.queues[q].Push(b) {
+		p.imissed.Add(1)
+		b.Free()
+		return
+	}
+	p.ipackets.Add(1)
+	p.ibytes.Add(uint64(len(frame)))
+}
+
+// InjectTuple is a fast-path injection for sources that already know the
+// frame's 4-tuple (the synthetic generator): it skips re-parsing the frame.
+func (p *Port) InjectTuple(frame []byte, ts int64, src, dst netip.Addr, srcPort, dstPort uint16) {
+	if len(frame) > p.pool.bufSize {
+		p.ierrors.Add(1)
+		return
+	}
+	hash := p.hasher.HashTuple(src, dst, srcPort, dstPort)
+	b := p.pool.Get()
+	if b == nil {
+		p.nombuf.Add(1)
+		return
+	}
+	b.Len = copy(b.Data, frame)
+	b.Timestamp = ts
+	b.RSSHash = hash
+	q := rss.Queue(hash, len(p.queues))
+	if !p.queues[q].Push(b) {
+		p.imissed.Add(1)
+		b.Free()
+		return
+	}
+	p.ipackets.Add(1)
+	p.ibytes.Add(uint64(len(frame)))
+}
+
+// InjectPreclassified delivers a frame whose RSS hash was computed by the
+// caller — the hardware-RSS model, where classification happened in NIC
+// silicon and software only sees the hash in the descriptor. No parsing, no
+// hashing: buffer copy and enqueue only. Single producer per port.
+func (p *Port) InjectPreclassified(frame []byte, ts int64, hash uint32) {
+	if len(frame) > p.pool.bufSize {
+		p.ierrors.Add(1)
+		return
+	}
+	b := p.pool.Get()
+	if b == nil {
+		p.nombuf.Add(1)
+		return
+	}
+	b.Len = copy(b.Data, frame)
+	b.Timestamp = ts
+	b.RSSHash = hash
+	q := rss.Queue(hash, len(p.queues))
+	if !p.queues[q].Push(b) {
+		p.imissed.Add(1)
+		b.Free()
+		return
+	}
+	p.ipackets.Add(1)
+	p.ibytes.Add(uint64(len(frame)))
+}
+
+// RxBurst polls queue q for up to len(bufs) packets, returning the count.
+// This is the rte_eth_rx_burst analogue; workers call it in a poll loop.
+// The caller owns returned buffers and must Free them.
+func (p *Port) RxBurst(q int, bufs []*Buf) (int, error) {
+	if q < 0 || q >= len(p.queues) {
+		return 0, ErrBadQueue
+	}
+	return p.queues[q].PopBurst(bufs), nil
+}
+
+// QueueLen returns the instantaneous depth of queue q (for monitoring).
+func (p *Port) QueueLen(q int) int {
+	if q < 0 || q >= len(p.queues) {
+		return 0
+	}
+	return p.queues[q].Len()
+}
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() Stats {
+	return Stats{
+		Ipackets: p.ipackets.Load(),
+		Ibytes:   p.ibytes.Load(),
+		Imissed:  p.imissed.Load(),
+		Ierrors:  p.ierrors.Load(),
+		NoMbuf:   p.nombuf.Load(),
+	}
+}

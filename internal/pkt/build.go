@@ -1,0 +1,149 @@
+package pkt
+
+import "net/netip"
+
+// TCPFrameSpec describes a TCP/IP frame to serialize. It is the generator's
+// interface to the wire format.
+type TCPFrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	VLAN             uint16 // 0 = untagged
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8 // hop limit for IPv6; 0 means 64
+	Payload          []byte
+	Options          []byte // TCP options, padded to 4-byte multiple
+}
+
+// BuildTCPFrame serializes spec into buf, computing IP and TCP checksums.
+// It returns the frame length. buf must be large enough
+// (EthernetHeaderLen + optional VLAN + IP header + TCP header + payload);
+// BuildTCPFrame returns ErrFrameTooShort otherwise. Frames shorter than the
+// Ethernet minimum are NOT padded — the nic layer owns padding policy.
+func BuildTCPFrame(buf []byte, spec *TCPFrameSpec) (int, error) {
+	eth := Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC}
+	if spec.VLAN != 0 {
+		eth.VLANCount = 1
+		eth.VLANs[0] = spec.VLAN
+	}
+	v6 := spec.Src.Is6() && !spec.Src.Is4In6()
+	if v6 {
+		eth.Type = EtherTypeIPv6
+	} else {
+		eth.Type = EtherTypeIPv4
+	}
+
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	tcp := TCP{
+		SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+		Seq: spec.Seq, Ack: spec.Ack,
+		Flags: spec.Flags, Window: spec.Window,
+		Options: spec.Options,
+	}
+	tcpLen := tcp.EncodedLen() + len(spec.Payload)
+
+	ethLen, err := eth.Encode(buf)
+	if err != nil {
+		return 0, err
+	}
+
+	var ipLen int
+	var srcB, dstB []byte
+	var src4, dst4 [4]byte
+	var src16, dst16 [16]byte
+	if v6 {
+		ip := IPv6{
+			PayloadLen: uint16(tcpLen),
+			Protocol:   IPProtoTCP,
+			HopLimit:   ttl,
+			Src:        spec.Src, Dst: spec.Dst,
+		}
+		ipLen, err = ip.Encode(buf[ethLen:])
+		if err != nil {
+			return 0, err
+		}
+		src16, dst16 = spec.Src.As16(), spec.Dst.As16()
+		srcB, dstB = src16[:], dst16[:]
+	} else {
+		ip := IPv4{
+			TotalLen: uint16(IPv4MinHeaderLen + tcpLen),
+			TTL:      ttl,
+			Protocol: IPProtoTCP,
+			Src:      spec.Src.Unmap(), Dst: spec.Dst.Unmap(),
+		}
+		ipLen, err = ip.Encode(buf[ethLen:])
+		if err != nil {
+			return 0, err
+		}
+		src4, dst4 = spec.Src.Unmap().As4(), spec.Dst.Unmap().As4()
+		srcB, dstB = src4[:], dst4[:]
+	}
+
+	off := ethLen + ipLen
+	if len(buf) < off+tcpLen {
+		return 0, ErrFrameTooShort
+	}
+	tn, err := tcp.Encode(buf[off:])
+	if err != nil {
+		return 0, err
+	}
+	copy(buf[off+tn:], spec.Payload)
+	segment := buf[off : off+tcpLen]
+	PutTCPChecksum(segment, TransportChecksum(srcB, dstB, IPProtoTCP, segment))
+	return off + tcpLen, nil
+}
+
+// TCPFrameLen returns the length BuildTCPFrame will produce for spec.
+func TCPFrameLen(spec *TCPFrameSpec) int {
+	n := EthernetHeaderLen
+	if spec.VLAN != 0 {
+		n += VLANTagLen
+	}
+	if spec.Src.Is6() && !spec.Src.Is4In6() {
+		n += IPv6HeaderLen
+	} else {
+		n += IPv4MinHeaderLen
+	}
+	return n + TCPMinHeaderLen + len(spec.Options) + len(spec.Payload)
+}
+
+// BuildUDPFrame serializes a UDP/IPv4 frame into buf (used for non-TCP
+// background traffic in the generator). Returns the frame length.
+func BuildUDPFrame(buf []byte, srcMAC, dstMAC MAC, src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) (int, error) {
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
+	ethLen, err := eth.Encode(buf)
+	if err != nil {
+		return 0, err
+	}
+	udpLen := UDPHeaderLen + len(payload)
+	ip := IPv4{
+		TotalLen: uint16(IPv4MinHeaderLen + udpLen),
+		TTL:      64,
+		Protocol: IPProtoUDP,
+		Src:      src.Unmap(), Dst: dst.Unmap(),
+	}
+	ipLen, err := ip.Encode(buf[ethLen:])
+	if err != nil {
+		return 0, err
+	}
+	off := ethLen + ipLen
+	if len(buf) < off+udpLen {
+		return 0, ErrFrameTooShort
+	}
+	u := UDP{SrcPort: srcPort, DstPort: dstPort, Length: uint16(udpLen)}
+	if _, err := u.Encode(buf[off:]); err != nil {
+		return 0, err
+	}
+	copy(buf[off+UDPHeaderLen:], payload)
+	src4, dst4 := src.Unmap().As4(), dst.Unmap().As4()
+	segment := buf[off : off+udpLen]
+	cs := TransportChecksum(src4[:], dst4[:], IPProtoUDP, segment)
+	segment[6] = byte(cs >> 8)
+	segment[7] = byte(cs)
+	return off + udpLen, nil
+}

@@ -1,0 +1,127 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv4 is a decoded IPv4 header.
+type IPv4 struct {
+	Version    uint8 // always 4 after a successful Decode
+	IHL        uint8 // header length in 32-bit words
+	TOS        uint8
+	TotalLen   uint16
+	ID         uint16
+	Flags      uint8  // 3 bits: reserved, DF, MF
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   IPProto
+	Checksum   uint16
+	Src, Dst   netip.Addr
+	Options    []byte // references the frame buffer; nil if none
+	HeaderLen  int    // bytes consumed by the header
+	PayloadLen int    // TotalLen - HeaderLen (clamped to available data)
+}
+
+// IPv4 flag bits (in the 3-bit Flags field).
+const (
+	IPv4DontFragment  = 0b010
+	IPv4MoreFragments = 0b001
+)
+
+// IsFragment reports whether the packet is a non-first fragment or has more
+// fragments coming (i.e. transport headers may be absent or split).
+func (ip *IPv4) IsFragment() bool {
+	return ip.FragOffset != 0 || ip.Flags&IPv4MoreFragments != 0
+}
+
+// Decode parses an IPv4 header from data, returning bytes consumed.
+// Options, Src and Dst reference/copy from the frame buffer; the buffer must
+// stay valid while the struct is in use.
+func (ip *IPv4) Decode(data []byte) (int, error) {
+	if len(data) < IPv4MinHeaderLen {
+		return 0, ErrHeaderTooShort
+	}
+	vihl := data[0]
+	ip.Version = vihl >> 4
+	if ip.Version != 4 {
+		return 0, ErrBadVersion
+	}
+	ip.IHL = vihl & 0x0f
+	hlen := int(ip.IHL) * 4
+	if hlen < IPv4MinHeaderLen {
+		return 0, ErrBadHeaderLen
+	}
+	if len(data) < hlen {
+		return 0, ErrHeaderTooShort
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProto(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	if hlen > IPv4MinHeaderLen {
+		ip.Options = data[IPv4MinHeaderLen:hlen]
+	} else {
+		ip.Options = nil
+	}
+	ip.HeaderLen = hlen
+	if int(ip.TotalLen) < hlen {
+		return 0, ErrBadHeaderLen
+	}
+	ip.PayloadLen = int(ip.TotalLen) - hlen
+	if avail := len(data) - hlen; ip.PayloadLen > avail {
+		ip.PayloadLen = avail // truncated capture; keep what we have
+	}
+	return hlen, nil
+}
+
+// VerifyChecksum reports whether the header checksum over data (the header
+// bytes including the stored checksum) is valid.
+func (ip *IPv4) VerifyChecksum(data []byte) bool {
+	hlen := int(ip.IHL) * 4
+	if len(data) < hlen {
+		return false
+	}
+	return uint16(foldChecksum(partialChecksum(data[:hlen], 0))) == 0xffff
+}
+
+// Encode serializes the header into buf and computes the header checksum.
+// TotalLen must already be set by the caller. Returns bytes written.
+func (ip *IPv4) Encode(buf []byte) (int, error) {
+	hlen := IPv4MinHeaderLen + len(ip.Options)
+	if hlen%4 != 0 {
+		return 0, ErrBadHeaderLen
+	}
+	if len(buf) < hlen {
+		return 0, ErrFrameTooShort
+	}
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return 0, ErrBadVersion
+	}
+	buf[0] = 4<<4 | uint8(hlen/4)
+	buf[1] = ip.TOS
+	binary.BigEndian.PutUint16(buf[2:], ip.TotalLen)
+	binary.BigEndian.PutUint16(buf[4:], ip.ID)
+	binary.BigEndian.PutUint16(buf[6:], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	buf[8] = ip.TTL
+	buf[9] = uint8(ip.Protocol)
+	buf[10], buf[11] = 0, 0
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(buf[12:16], src[:])
+	copy(buf[16:20], dst[:])
+	copy(buf[IPv4MinHeaderLen:], ip.Options)
+	cs := Checksum(buf[:hlen], 0)
+	binary.BigEndian.PutUint16(buf[10:], cs)
+	ip.Checksum = cs
+	return hlen, nil
+}
+
+// EncodedLen returns the number of bytes Encode will write.
+func (ip *IPv4) EncodedLen() int { return IPv4MinHeaderLen + len(ip.Options) }

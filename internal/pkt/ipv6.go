@@ -1,0 +1,99 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// IPv6 is a decoded IPv6 header. The decoder walks well-known extension
+// headers (hop-by-hop, routing, destination options, fragment) so that
+// Protocol reflects the upper-layer protocol and HeaderLen covers the whole
+// chain, the way a flow classifier needs it.
+type IPv6 struct {
+	Version      uint8 // always 6 after a successful Decode
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16 // as carried in the fixed header
+	NextHeader   IPProto
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	Protocol     IPProto // upper-layer protocol after extension headers
+	HeaderLen    int     // fixed header + extension headers consumed
+	Fragmented   bool    // a fragment header was present
+}
+
+// Decode parses the fixed IPv6 header and any leading extension headers,
+// returning total bytes consumed.
+func (ip *IPv6) Decode(data []byte) (int, error) {
+	if len(data) < IPv6HeaderLen {
+		return 0, ErrHeaderTooShort
+	}
+	vtf := binary.BigEndian.Uint32(data[0:4])
+	ip.Version = uint8(vtf >> 28)
+	if ip.Version != 6 {
+		return 0, ErrBadVersion
+	}
+	ip.TrafficClass = uint8(vtf >> 20)
+	ip.FlowLabel = vtf & 0x000fffff
+	ip.PayloadLen = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = IPProto(data[6])
+	ip.HopLimit = data[7]
+	ip.Src = netip.AddrFrom16([16]byte(data[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(data[24:40]))
+	ip.Fragmented = false
+
+	off := IPv6HeaderLen
+	next := ip.NextHeader
+	// Walk extension headers to the upper-layer protocol. The chain is
+	// bounded to defend against crafted loops.
+	for hops := 0; hops < 8; hops++ {
+		switch next {
+		case IPProtoHopByHop, IPProtoRouting, IPProtoDstOpts:
+			if len(data) < off+8 {
+				return 0, ErrHeaderTooShort
+			}
+			n := IPProto(data[off])
+			extLen := 8 + int(data[off+1])*8
+			if len(data) < off+extLen {
+				return 0, ErrHeaderTooShort
+			}
+			next = n
+			off += extLen
+		case IPProtoFragment:
+			if len(data) < off+8 {
+				return 0, ErrHeaderTooShort
+			}
+			ip.Fragmented = true
+			next = IPProto(data[off])
+			off += 8
+		default:
+			ip.Protocol = next
+			ip.HeaderLen = off
+			return off, nil
+		}
+	}
+	return 0, ErrNotSupported
+}
+
+// Encode serializes the fixed header into buf (extension headers are not
+// emitted; Protocol is written as the next-header value). PayloadLen must be
+// set by the caller. Returns bytes written.
+func (ip *IPv6) Encode(buf []byte) (int, error) {
+	if len(buf) < IPv6HeaderLen {
+		return 0, ErrFrameTooShort
+	}
+	if !ip.Src.Is6() || ip.Src.Is4In6() || !ip.Dst.Is6() || ip.Dst.Is4In6() {
+		return 0, ErrBadVersion
+	}
+	binary.BigEndian.PutUint32(buf[0:], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0x000fffff)
+	binary.BigEndian.PutUint16(buf[4:], ip.PayloadLen)
+	buf[6] = uint8(ip.Protocol)
+	buf[7] = ip.HopLimit
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	copy(buf[8:24], src[:])
+	copy(buf[24:40], dst[:])
+	return IPv6HeaderLen, nil
+}
+
+// EncodedLen returns the number of bytes Encode will write.
+func (ip *IPv6) EncodedLen() int { return IPv6HeaderLen }

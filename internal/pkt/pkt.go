@@ -1,0 +1,102 @@
+// Package pkt implements wire-format decoding and encoding for the protocol
+// stack Ruru observes on the tap: Ethernet (with optional 802.1Q tags), IPv4,
+// IPv6, TCP and UDP.
+//
+// The package is designed for the measurement fast path. The central type is
+// Parser, which decodes a raw frame into caller-owned header structs without
+// allocating (the gopacket DecodingLayerParser pattern): the same Parser is
+// reused for every frame on a receive queue, and decoded headers reference the
+// frame buffer rather than copying it. Serialization helpers build valid
+// frames for the traffic generator and for tests.
+//
+// All multi-byte fields are big-endian (network order) as on the wire.
+package pkt
+
+import "errors"
+
+// EtherType identifies the protocol carried in an Ethernet frame payload.
+type EtherType uint16
+
+// EtherType values understood by the parser.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeVLAN EtherType = 0x8100 // 802.1Q tag
+	EtherTypeQinQ EtherType = 0x88a8 // 802.1ad service tag
+	EtherTypeIPv6 EtherType = 0x86dd
+)
+
+// String returns the conventional name of the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeVLAN:
+		return "802.1Q"
+	case EtherTypeQinQ:
+		return "802.1ad"
+	case EtherTypeIPv6:
+		return "IPv6"
+	}
+	return "unknown"
+}
+
+// IPProto identifies the transport protocol in an IP header
+// (the IPv4 Protocol field / IPv6 Next Header field).
+type IPProto uint8
+
+// IPProto values understood by the parser.
+const (
+	IPProtoICMP     IPProto = 1
+	IPProtoTCP      IPProto = 6
+	IPProtoUDP      IPProto = 17
+	IPProtoICMPv6   IPProto = 58
+	IPProtoHopByHop IPProto = 0  // IPv6 extension
+	IPProtoRouting  IPProto = 43 // IPv6 extension
+	IPProtoFragment IPProto = 44 // IPv6 extension
+	IPProtoDstOpts  IPProto = 60 // IPv6 extension
+	IPProtoNoNext   IPProto = 59 // IPv6: no next header
+)
+
+// String returns the conventional name of the protocol.
+func (p IPProto) String() string {
+	switch p {
+	case IPProtoICMP:
+		return "ICMP"
+	case IPProtoTCP:
+		return "TCP"
+	case IPProtoUDP:
+		return "UDP"
+	case IPProtoICMPv6:
+		return "ICMPv6"
+	}
+	return "unknown"
+}
+
+// Frame size constants for the link layer.
+const (
+	EthernetHeaderLen = 14 // dst MAC + src MAC + EtherType
+	VLANTagLen        = 4  // TPID + TCI
+	IPv4MinHeaderLen  = 20
+	IPv6HeaderLen     = 40
+	TCPMinHeaderLen   = 20
+	UDPHeaderLen      = 8
+
+	// MinFrameLen is the minimum Ethernet frame length excluding FCS.
+	MinFrameLen = 60
+	// MaxStandardFrameLen is the maximum non-jumbo frame length excluding FCS.
+	MaxStandardFrameLen = 1514
+)
+
+// Decoding errors. The parser wraps these with no further allocation, so
+// callers can compare with errors.Is.
+var (
+	ErrFrameTooShort  = errors.New("pkt: frame too short")
+	ErrHeaderTooShort = errors.New("pkt: header truncated")
+	ErrBadVersion     = errors.New("pkt: bad IP version")
+	ErrBadHeaderLen   = errors.New("pkt: bad header length field")
+	ErrNotSupported   = errors.New("pkt: unsupported protocol")
+	ErrBadChecksum    = errors.New("pkt: bad checksum")
+)

@@ -1,0 +1,121 @@
+// Package ring provides a lock-free single-producer/single-consumer ring
+// buffer used as the hand-off between pipeline stages: NIC RX queues feed
+// per-core workers exactly the way DPDK rings feed lcores in the Ruru paper.
+//
+// The ring is a power-of-two circular array with separate head and tail
+// indices. Producer and consumer each own one index and only read the other,
+// so a single atomic load/store pair per operation suffices. Indices live on
+// separate cache lines to avoid false sharing between the producer and
+// consumer cores.
+package ring
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBadCapacity is returned by New when capacity is not a power of two.
+var ErrBadCapacity = errors.New("ring: capacity must be a power of two and > 0")
+
+type pad [56]byte // pads a uint64 to a full 64-byte cache line
+
+// Ring is a lock-free SPSC queue of values of type T.
+// The zero value is not usable; call New.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	head atomic.Uint64 // next slot to pop (owned by consumer)
+	_    pad
+	tail atomic.Uint64 // next slot to push (owned by producer)
+	_    pad
+}
+
+// New returns a ring with the given capacity, which must be a power of two.
+func New[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	return &Ring[T]{
+		buf:  make([]T, capacity),
+		mask: uint64(capacity - 1),
+	}, nil
+}
+
+// MustNew is New that panics on error, for package-level initialization.
+func MustNew[T any](capacity int) *Ring[T] {
+	r, err := New[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items. It is an instantaneous snapshot
+// and only advisory under concurrency.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push enqueues v. It returns false when the ring is full (the caller drops
+// or retries — the NIC layer counts this as an imissed, like a real NIC).
+func (r *Ring[T]) Push(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop dequeues one item, reporting whether one was available.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero // release references for GC
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// PushBurst enqueues as many items from vs as fit, returning the count.
+// This is the DPDK rte_ring_enqueue_burst analogue: one atomic round-trip
+// amortized over the whole burst.
+func (r *Ring[T]) PushBurst(vs []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = vs[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// PopBurst dequeues up to len(out) items into out, returning the count.
+func (r *Ring[T]) PopBurst(out []T) int {
+	var zero T
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(out))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		out[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + n)
+	return int(n)
+}

@@ -1,0 +1,115 @@
+// Package rss implements Receive Side Scaling hashing in software: the
+// Toeplitz hash from the Microsoft RSS specification, computed over the IP
+// 4-tuple exactly as a NIC computes it when dispatching packets to receive
+// queues.
+//
+// Ruru (§2) configures *symmetric* RSS so both directions of a TCP flow land
+// on the same queue — the SYN (C→S) and the SYN-ACK (S→C) must reach the same
+// per-queue hash table or the handshake can never be matched without costly
+// cross-core communication. Symmetry is obtained with the Woo/Zilberman key:
+// the 16-bit pattern 0x6d5a repeated across the 40-byte key, which makes
+// hash(src,dst,sport,dport) == hash(dst,src,dport,sport).
+//
+// The asymmetric (default Microsoft) key is also provided for the E7 ablation
+// experiment, which quantifies how many handshakes are lost when the two
+// directions are scattered across queues.
+package rss
+
+import "net/netip"
+
+// KeyLen is the RSS secret key length in bytes (the standard 40-byte key
+// covers IPv6 4-tuples: 16+16+2+2 + 4 spare).
+const KeyLen = 40
+
+// SymmetricKey is the 0x6d5a-repeating key that makes the Toeplitz hash
+// symmetric in (src,dst) and (sport,dport).
+var SymmetricKey = [KeyLen]byte{
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+	0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a, 0x6d, 0x5a,
+}
+
+// MicrosoftKey is the default asymmetric key from the Microsoft RSS
+// specification (as shipped by ixgbe/i40e drivers). Used for the E7 ablation.
+var MicrosoftKey = [KeyLen]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Hasher computes Toeplitz hashes with a fixed key. Construct with New; a
+// Hasher is immutable and safe for concurrent use.
+type Hasher struct {
+	key [KeyLen]byte
+}
+
+// New returns a Hasher using the given 40-byte key.
+func New(key [KeyLen]byte) *Hasher { return &Hasher{key: key} }
+
+// NewSymmetric returns a Hasher with the symmetric 0x6d5a key, the
+// configuration Ruru uses in production.
+func NewSymmetric() *Hasher { return New(SymmetricKey) }
+
+// Hash computes the Toeplitz hash of input per the Microsoft RSS spec: for
+// each set bit i (MSB-first) of the input, XOR in the 32-bit window of the
+// key starting at bit i.
+func (h *Hasher) Hash(input []byte) uint32 {
+	var result uint32
+	// window holds the leftmost 32 bits of the key shifted left by the
+	// number of input bits consumed so far.
+	window := uint64(h.key[0])<<56 | uint64(h.key[1])<<48 |
+		uint64(h.key[2])<<40 | uint64(h.key[3])<<32 |
+		uint64(h.key[4])<<24 | uint64(h.key[5])<<16 |
+		uint64(h.key[6])<<8 | uint64(h.key[7])
+	nextKeyByte := 8
+	for _, b := range input {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				result ^= uint32(window >> 32)
+			}
+			window <<= 1
+		}
+		// Refill the low byte of the 64-bit window every 8 shifts.
+		if nextKeyByte < KeyLen {
+			window |= uint64(h.key[nextKeyByte])
+			nextKeyByte++
+		}
+	}
+	return result
+}
+
+// HashTuple computes the RSS hash of an IPv4/IPv6 4-tuple. The layout matches
+// hardware RSS input: src addr, dst addr, src port, dst port, all big-endian.
+func (h *Hasher) HashTuple(src, dst netip.Addr, srcPort, dstPort uint16) uint32 {
+	var buf [36]byte
+	var n int
+	if src.Is4() || src.Is4In6() {
+		a, b := src.Unmap().As4(), dst.Unmap().As4()
+		copy(buf[0:4], a[:])
+		copy(buf[4:8], b[:])
+		n = 8
+	} else {
+		a, b := src.As16(), dst.As16()
+		copy(buf[0:16], a[:])
+		copy(buf[16:32], b[:])
+		n = 32
+	}
+	buf[n] = byte(srcPort >> 8)
+	buf[n+1] = byte(srcPort)
+	buf[n+2] = byte(dstPort >> 8)
+	buf[n+3] = byte(dstPort)
+	return h.Hash(buf[:n+4])
+}
+
+// Queue maps a hash to one of n receive queues the way NIC indirection
+// tables do (modulo over the low bits).
+func Queue(hash uint32, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(hash % uint32(n))
+}

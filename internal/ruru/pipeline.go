@@ -1,0 +1,435 @@
+// Package ruru assembles the full pipeline from the paper's Figure 2:
+//
+//	traffic → [nic: RSS → per-core queues] → [core: handshake engine]
+//	        → (mq "ZeroMQ" bus, raw topic) → [analytics: geo enrich + anonymize]
+//	        → (mq bus, enriched topic) → { tsdb sink, WebSocket hub,
+//	                                        anomaly detectors, arc feed }
+//
+// This is the public-facing entry point a downstream user embeds: construct
+// a Pipeline, inject traffic into Pipeline.Port (from the generator, a pcap
+// trace, or any frame source), and consume results from the TSDB, the
+// WebSocket hub, the HTTP API, or the anomaly event streams.
+package ruru
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ruru/internal/analytics"
+	"ruru/internal/anomaly"
+	"ruru/internal/core"
+	"ruru/internal/geo"
+	"ruru/internal/mq"
+	"ruru/internal/nic"
+	"ruru/internal/tsdb"
+	"ruru/internal/ws"
+)
+
+// Config configures a Pipeline. Zero values get production-shaped defaults.
+type Config struct {
+	// GeoDB is the geolocation database. Required.
+	GeoDB *geo.DB
+
+	// Queues is the number of RSS queues / measurement cores (default 4).
+	Queues int
+	// QueueDepth is the per-queue ring size (default 4096).
+	QueueDepth int
+	// PoolSize is the packet mempool size (default 16384 buffers).
+	PoolSize int
+	// BufSize is the packet buffer size (default 2048).
+	BufSize int
+	// Burst is the RxBurst size (default 64).
+	Burst int
+	// PollSleep is the worker idle sleep (default 50µs).
+	PollSleep time.Duration
+
+	// TableCapacity is the per-queue handshake table size (default 64k).
+	TableCapacity int
+	// HandshakeTimeout evicts incomplete handshakes (default 10s).
+	HandshakeTimeout int64
+
+	// EnrichWorkers is the analytics pool size (default 4).
+	EnrichWorkers int
+
+	// TSDB options.
+	ShardDuration int64
+	Retention     int64
+
+	// HubQueue is the per-WebSocket-client queue depth (default 256).
+	HubQueue int
+
+	// Detector configs (defaults applied by the anomaly package).
+	Spike anomaly.SpikeConfig
+	Flood anomaly.FloodConfig
+	Surge anomaly.SurgeConfig
+	// SNMPInterval enables the conventional-monitoring baseline poller
+	// when > 0 (used by experiment E4).
+	SNMPInterval int64
+
+	// ArcsBuffer is how many recent measurements the live-map arc feed
+	// retains (default 4096).
+	ArcsBuffer int
+
+	// TrackTimestamps enables continuous RTT measurement from TCP
+	// timestamp echoes (the pping-style extension). Samples are
+	// geo-enriched (IPs dropped, like measurements) and written to the
+	// TSDB measurement "rtt_stream" with tags echoer_city/peer_city/side.
+	TrackTimestamps bool
+}
+
+// Measurement topics re-exported for consumers wiring extra modules in.
+const (
+	TopicRaw      = analytics.TopicRaw
+	TopicEnriched = analytics.TopicEnriched
+)
+
+// Pipeline is an assembled Ruru instance.
+type Pipeline struct {
+	cfg Config
+
+	Pool     *nic.Mempool
+	Port     *nic.Port
+	Engine   *core.Engine
+	Bus      *mq.Bus
+	Enricher *analytics.Enricher
+	DB       *tsdb.DB
+	Hub      *ws.Hub
+
+	Spikes *anomaly.SpikeBank
+	Flood  *anomaly.FloodDetector
+	Surge  *anomaly.SurgeDetector
+	SNMP   *anomaly.SNMPPoller
+
+	floodMu sync.Mutex
+	snmpMu  sync.Mutex
+
+	arcsMu  sync.Mutex
+	arcsBuf []analytics.Enriched
+	arcsPos int
+
+	spikeEventsMu sync.Mutex
+	spikeEvents   []anomaly.Event
+
+	tsSamples atomic.Uint64
+
+	sinkSub *mq.Subscription
+}
+
+// New assembles a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.GeoDB == nil {
+		return nil, errors.New("ruru: Config.GeoDB is required")
+	}
+	if cfg.Queues <= 0 {
+		cfg.Queues = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 16384
+	}
+	if cfg.BufSize <= 0 {
+		cfg.BufSize = 2048
+	}
+	if cfg.TableCapacity <= 0 {
+		cfg.TableCapacity = 1 << 16
+	}
+	if cfg.EnrichWorkers <= 0 {
+		cfg.EnrichWorkers = 4
+	}
+	if cfg.ArcsBuffer <= 0 {
+		cfg.ArcsBuffer = 4096
+	}
+
+	p := &Pipeline{cfg: cfg}
+	p.Pool = nic.NewMempool(cfg.PoolSize, cfg.BufSize)
+	var err error
+	p.Port, err = nic.NewPort(nic.PortConfig{
+		Queues: cfg.Queues, QueueDepth: cfg.QueueDepth, Pool: p.Pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Bus = mq.NewBus()
+	p.Flood = anomaly.NewFloodDetector(cfg.Flood)
+	p.Spikes = anomaly.NewSpikeBank(cfg.Spike, 0)
+	p.Surge = anomaly.NewSurgeDetector(cfg.Surge)
+	if cfg.SNMPInterval > 0 {
+		p.SNMP = anomaly.NewSNMPPoller(cfg.SNMPInterval)
+	}
+
+	sink := analytics.NewBusSink(p.Bus)
+	engCfg := core.EngineConfig{
+		Port: p.Port,
+		Sink: sink,
+		Table: core.TableConfig{
+			Capacity: cfg.TableCapacity,
+			Timeout:  cfg.HandshakeTimeout,
+			OnExpire: p.onExpire,
+		},
+		Burst:     cfg.Burst,
+		PollSleep: cfg.PollSleep,
+	}
+	if cfg.TrackTimestamps {
+		engCfg.TSSink = core.TSSinkFunc(p.onTSSample)
+		engCfg.TSTable = core.TSConfig{
+			Capacity: cfg.TableCapacity,
+			Timeout:  cfg.HandshakeTimeout,
+		}
+	}
+	p.Engine, err = core.NewEngine(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Enricher, err = analytics.NewEnricher(analytics.Config{
+		DB: cfg.GeoDB, Bus: p.Bus, Workers: cfg.EnrichWorkers, HWM: 1 << 15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.DB = tsdb.Open(tsdb.Options{
+		ShardDuration: cfg.ShardDuration, Retention: cfg.Retention,
+	})
+	p.Hub = ws.NewHub(cfg.HubQueue)
+	p.arcsBuf = make([]analytics.Enriched, 0, cfg.ArcsBuffer)
+
+	p.sinkSub, err = p.Bus.Subscribe(TopicEnriched, 1<<15)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// onExpire feeds incomplete-handshake evictions to the flood detector.
+// Called from queue workers; the detector is guarded by a mutex (expiries
+// are rare relative to packets).
+func (p *Pipeline) onExpire(lastTS int64, awaitingSYNACK bool) {
+	if !awaitingSYNACK {
+		return
+	}
+	p.floodMu.Lock()
+	p.Flood.ObserveUnanswered(lastTS)
+	p.floodMu.Unlock()
+}
+
+// onTSSample stores one continuous RTT sample: geo-enriched, anonymized
+// (only city/country tags reach storage, like measurements), written to the
+// "rtt_stream" measurement. Called from queue workers; the TSDB write path
+// has its own lock.
+func (p *Pipeline) onTSSample(s *core.TSSample) {
+	echoCity, peerCity := "Unknown", "Unknown"
+	if rec, ok := p.cfg.GeoDB.Lookup(s.Echoer); ok {
+		echoCity = rec.City
+	}
+	if rec, ok := p.cfg.GeoDB.Lookup(s.Peer); ok {
+		peerCity = rec.City
+	}
+	pt := tsdb.Point{
+		Name: "rtt_stream",
+		Tags: []tsdb.Tag{
+			{Key: "echoer_city", Value: echoCity},
+			{Key: "peer_city", Value: peerCity},
+		},
+		Fields: []tsdb.Field{{Key: "rtt_ms", Value: float64(s.RTT) / 1e6}},
+		Time:   s.At,
+	}
+	p.DB.Write(&pt)
+	p.tsSamples.Add(1)
+}
+
+// Run operates the pipeline until ctx is cancelled. It returns ctx.Err().
+func (p *Pipeline) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		p.Engine.Run(ctx)
+	}()
+	go func() {
+		defer wg.Done()
+		p.Enricher.Run(ctx)
+	}()
+	go func() {
+		defer wg.Done()
+		p.runSink(ctx)
+	}()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runSink consumes enriched measurements and feeds every output: TSDB,
+// WebSocket hub, anomaly detectors, SNMP strawman and the arc buffer.
+func (p *Pipeline) runSink(ctx context.Context) {
+	var e analytics.Enriched
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, ok := <-p.sinkSub.C():
+			if !ok {
+				return
+			}
+			if err := analytics.UnmarshalEnriched(msg.Payload, &e); err != nil {
+				continue
+			}
+			p.consume(&e)
+		}
+	}
+}
+
+// consume dispatches one enriched measurement to all sinks. Exposed via
+// Feed for harnesses that bypass the packet path.
+func (p *Pipeline) consume(e *analytics.Enriched) {
+	// 1. Time-series storage (ms floats, as the Grafana panels expect).
+	pt := tsdb.Point{
+		Name: "latency",
+		Tags: []tsdb.Tag{
+			{Key: "src_city", Value: e.Src.City},
+			{Key: "src_cc", Value: e.Src.CountryCode},
+			{Key: "src_asn", Value: fmt.Sprint(e.Src.ASN)},
+			{Key: "dst_city", Value: e.Dst.City},
+			{Key: "dst_cc", Value: e.Dst.CountryCode},
+			{Key: "dst_asn", Value: fmt.Sprint(e.Dst.ASN)},
+		},
+		Fields: []tsdb.Field{
+			{Key: "internal_ms", Value: float64(e.InternalNs) / 1e6},
+			{Key: "external_ms", Value: float64(e.ExternalNs) / 1e6},
+			{Key: "total_ms", Value: float64(e.TotalNs) / 1e6},
+		},
+		Time: e.Time,
+	}
+	p.DB.Write(&pt)
+
+	// 2. Live map broadcast (JSON text frames).
+	if data, err := json.Marshal(e); err == nil {
+		p.Hub.Broadcast(data)
+	}
+
+	// 3. Anomaly detectors.
+	pair := e.Src.City + "→" + e.Dst.City
+	if ev := p.Spikes.Offer(pair, e.Time, e.TotalNs); ev != nil {
+		p.spikeEventsMu.Lock()
+		p.spikeEvents = append(p.spikeEvents, *ev)
+		p.spikeEventsMu.Unlock()
+	}
+	p.Surge.Observe(pair, e.Time)
+
+	// 4. Conventional-monitoring baseline.
+	if p.SNMP != nil {
+		p.snmpMu.Lock()
+		p.SNMP.Offer(e.Time, e.TotalNs)
+		p.snmpMu.Unlock()
+	}
+
+	// 5. Arc feed ring buffer.
+	p.arcsMu.Lock()
+	if len(p.arcsBuf) < cap(p.arcsBuf) {
+		p.arcsBuf = append(p.arcsBuf, *e)
+	} else {
+		p.arcsBuf[p.arcsPos] = *e
+		p.arcsPos = (p.arcsPos + 1) % cap(p.arcsBuf)
+	}
+	p.arcsMu.Unlock()
+}
+
+// Feed injects an enriched measurement directly into the sink stage,
+// bypassing packet processing — used by harnesses and the quickstart
+// example to exercise storage/visualization in isolation.
+func (p *Pipeline) Feed(e *analytics.Enriched) { p.consume(e) }
+
+// RecentArcs returns up to n of the most recent enriched measurements for
+// the live map.
+func (p *Pipeline) RecentArcs(n int) []analytics.Enriched {
+	p.arcsMu.Lock()
+	defer p.arcsMu.Unlock()
+	total := len(p.arcsBuf)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]analytics.Enriched, 0, n)
+	// Ring order: oldest at arcsPos when full.
+	start := 0
+	if len(p.arcsBuf) == cap(p.arcsBuf) {
+		start = p.arcsPos
+	}
+	for i := total - n; i < total; i++ {
+		out = append(out, p.arcsBuf[(start+i)%total])
+	}
+	return out
+}
+
+// SpikeEvents returns latency-spike detections so far.
+func (p *Pipeline) SpikeEvents() []anomaly.Event {
+	p.spikeEventsMu.Lock()
+	defer p.spikeEventsMu.Unlock()
+	out := make([]anomaly.Event, len(p.spikeEvents))
+	copy(out, p.spikeEvents)
+	return out
+}
+
+// FloodEvents returns SYN-flood detections so far (thread-safe snapshot).
+func (p *Pipeline) FloodEvents() []anomaly.Event {
+	p.floodMu.Lock()
+	defer p.floodMu.Unlock()
+	evs := p.Flood.Events()
+	out := make([]anomaly.Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// FlushDetectors closes all open detector buckets (end of trace).
+func (p *Pipeline) FlushDetectors() {
+	p.floodMu.Lock()
+	p.Flood.Flush()
+	p.floodMu.Unlock()
+	p.Surge.Flush()
+	if p.SNMP != nil {
+		p.snmpMu.Lock()
+		p.SNMP.Flush()
+		p.snmpMu.Unlock()
+	}
+}
+
+// Stats is a full-pipeline counter snapshot.
+type Stats struct {
+	Port      nic.Stats
+	Engine    core.TableStats
+	Enricher  analytics.Stats
+	BusPub    uint64
+	BusDrop   uint64
+	HubSent   uint64
+	HubDrop   uint64
+	DBPoints  uint64
+	TSSamples uint64 // continuous RTT samples (when TrackTimestamps)
+}
+
+// Stats snapshots every stage.
+func (p *Pipeline) Stats() Stats {
+	pub, drop := p.Bus.Stats()
+	sent, hdrop := p.Hub.Stats()
+	written, _ := p.DB.WriteStats()
+	return Stats{
+		Port:      p.Port.Stats(),
+		Engine:    p.Engine.Stats(),
+		Enricher:  p.Enricher.Stats(),
+		BusPub:    pub,
+		BusDrop:   drop,
+		HubSent:   sent,
+		HubDrop:   hdrop,
+		DBPoints:  written,
+		TSSamples: p.tsSamples.Load(),
+	}
+}
+
+// Close releases resources (bus, hub, DB).
+func (p *Pipeline) Close() {
+	p.Bus.Close()
+	p.Hub.Close()
+	p.DB.Close()
+}

@@ -1,0 +1,483 @@
+package ruru
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ruru/internal/analytics"
+	"ruru/internal/anomaly"
+	"ruru/internal/gen"
+	"ruru/internal/geo"
+	"ruru/internal/pcap"
+	"ruru/internal/tsdb"
+	"ruru/internal/ws"
+)
+
+func newWorld(t testing.TB) *geo.World {
+	t.Helper()
+	w, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil GeoDB accepted")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	p, err := New(Config{
+		GeoDB:            w.DB(),
+		Queues:           4,
+		HandshakeTimeout: 60e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(ctx)
+	}()
+
+	g, err := gen.New(gen.Config{
+		Seed: 1, World: w, FlowRate: 300, Duration: 3e9,
+		DataSegments: 1, UDPRate: 100, MidstreamRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := g.RunToPort(p.Port, false)
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	completing := 0
+	for _, tr := range g.Truths() {
+		if tr.Completes {
+			completing++
+		}
+	}
+
+	// Wait for all measurements to flow through to the TSDB.
+	deadline := time.After(15 * time.Second)
+	for {
+		st := p.Stats()
+		if st.DBPoints >= uint64(completing) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("timeout: %d/%d points (stats %+v)", st.DBPoints, completing, st)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	st := p.Stats()
+	if st.Engine.Completed != uint64(completing) {
+		t.Fatalf("engine completed %d, want %d", st.Engine.Completed, completing)
+	}
+	if st.Enricher.Out != uint64(completing) {
+		t.Fatalf("enricher out %d, want %d", st.Enricher.Out, completing)
+	}
+	if st.Port.Imissed != 0 || st.Port.NoMbuf != 0 {
+		t.Fatalf("packet loss in un-paced test: %+v", st.Port)
+	}
+
+	// TSDB must answer a Grafana-style query over the virtual window.
+	res, err := p.DB.Execute(tsdb.Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: 120e9,
+		Aggs: []tsdb.AggKind{tsdb.AggCount, tsdb.AggMean, tsdb.AggMedian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Buckets[0].Count != completing {
+		t.Fatalf("query count = %+v, want %d", res, completing)
+	}
+	if mean := res[0].Buckets[0].Aggs[tsdb.AggMean]; mean <= 0 || mean > 2000 {
+		t.Fatalf("mean latency %vms implausible", mean)
+	}
+
+	// Arc feed must hold recent measurements with real coordinates.
+	arcs := p.RecentArcs(10)
+	if len(arcs) == 0 {
+		t.Fatal("no arcs")
+	}
+	for _, a := range arcs {
+		if a.Src.Lat == 0 && a.Src.Lon == 0 {
+			t.Fatalf("arc without coordinates: %+v", a)
+		}
+	}
+}
+
+func TestPipelineGroupByCityQueries(t *testing.T) {
+	w := newWorld(t)
+	p, err := New(Config{GeoDB: w.DB(), Queues: 2, HandshakeTimeout: 60e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	// Clients only in Auckland (city 0), servers only in LA (city 1):
+	// the deployment scenario.
+	g, err := gen.New(gen.Config{
+		Seed: 2, World: w, FlowRate: 200, Duration: 2e9,
+		ClientCities: []int{0}, ServerCities: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunToPort(p.Port, false)
+	completing := 0
+	for _, tr := range g.Truths() {
+		if tr.Completes {
+			completing++
+		}
+	}
+	deadline := time.After(15 * time.Second)
+	for p.Stats().DBPoints < uint64(completing) {
+		select {
+		case <-deadline:
+			t.Fatalf("timeout: %+v", p.Stats())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	res, err := p.DB.Execute(tsdb.Query{
+		Measurement: "latency", Field: "external_ms",
+		Start: 0, End: 120e9, GroupBy: "src_city",
+		Aggs: []tsdb.AggKind{tsdb.AggCount, tsdb.AggMedian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Group != "Auckland" {
+		t.Fatalf("groups: %+v", res)
+	}
+	// AKL→LA external RTT: ~10,480 km → propagation RTT ≈ 2·10480/200·1.8
+	// ≈ 190ms; with last-mile it lands somewhere in 150..400ms.
+	med := res[0].Buckets[0].Aggs[tsdb.AggMedian]
+	if med < 100 || med > 500 {
+		t.Fatalf("AKL→LAX median external %vms implausible", med)
+	}
+}
+
+func TestPipelineFeedDirect(t *testing.T) {
+	w := newWorld(t)
+	p, err := New(Config{GeoDB: w.DB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	e := analytics.Enriched{
+		Time: 1e9, TotalNs: 145e6, InternalNs: 15e6, ExternalNs: 130e6,
+		Src: analytics.Endpoint{City: "Auckland", CountryCode: "NZ", Lat: -36.85, Lon: 174.76},
+		Dst: analytics.Endpoint{City: "Los Angeles", CountryCode: "US", Lat: 34.05, Lon: -118.24},
+	}
+	for i := 0; i < 100; i++ {
+		e.Time = int64(i) * 1e9
+		p.Feed(&e)
+	}
+	if st := p.Stats(); st.DBPoints != 100 {
+		t.Fatalf("points = %d", st.DBPoints)
+	}
+	arcs := p.RecentArcs(0)
+	if len(arcs) != 100 {
+		t.Fatalf("arcs = %d", len(arcs))
+	}
+	// Ring buffer wraps at capacity.
+	p2, _ := New(Config{GeoDB: w.DB(), ArcsBuffer: 8})
+	defer p2.Close()
+	for i := 0; i < 20; i++ {
+		e.Time = int64(i)
+		p2.Feed(&e)
+	}
+	arcs = p2.RecentArcs(0)
+	if len(arcs) != 8 {
+		t.Fatalf("wrapped arcs = %d", len(arcs))
+	}
+	if arcs[len(arcs)-1].Time != 19 {
+		t.Fatalf("newest arc time = %d, want 19", arcs[len(arcs)-1].Time)
+	}
+	if arcs[0].Time != 12 {
+		t.Fatalf("oldest arc time = %d, want 12", arcs[0].Time)
+	}
+}
+
+func TestPipelineSpikeDetection(t *testing.T) {
+	w := newWorld(t)
+	p, err := New(Config{GeoDB: w.DB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	e := analytics.Enriched{
+		Src: analytics.Endpoint{City: "Auckland"},
+		Dst: analytics.Endpoint{City: "Los Angeles"},
+	}
+	for i := 0; i < 500; i++ {
+		e.Time = int64(i) * 1e8
+		e.TotalNs = 145e6 + int64(i%7)*1e6
+		p.Feed(&e)
+	}
+	e.Time = 501e8
+	e.TotalNs = 4145e6 // the firewall glitch
+	p.Feed(&e)
+	evs := p.SpikeEvents()
+	if len(evs) != 1 {
+		t.Fatalf("%d spike events", len(evs))
+	}
+	if evs[0].Value != 4145e6 {
+		t.Fatalf("event = %+v", evs[0])
+	}
+}
+
+func TestPipelinePcapRoundTrip(t *testing.T) {
+	// The replay path an operator uses: generate → pcap → read back →
+	// inject → measure. Results must be identical to direct injection.
+	w := newWorld(t)
+	mkGen := func() *gen.Generator {
+		g, err := gen.New(gen.Config{Seed: 31, World: w, FlowRate: 100, Duration: 2e9, UDPRate: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	var buf bytes.Buffer
+	if _, err := mkGen().WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := New(Config{GeoDB: w.DB(), Queues: 2, HandshakeTimeout: 60e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp pcap.Packet
+	injected := 0
+	for {
+		if err := r.ReadPacket(&rp); err != nil {
+			break
+		}
+		for {
+			before := p.Port.Stats()
+			p.Port.Inject(rp.Data, rp.Timestamp)
+			after := p.Port.Stats()
+			if after.Ipackets > before.Ipackets || after.Ierrors > before.Ierrors {
+				break
+			}
+		}
+		injected++
+	}
+	completing := 0
+	g2 := mkGen()
+	var pk gen.Packet
+	for g2.Next(&pk) {
+	}
+	for _, tr := range g2.Truths() {
+		if tr.Completes {
+			completing++
+		}
+	}
+	deadline := time.After(15 * time.Second)
+	for p.Stats().DBPoints < uint64(completing) {
+		select {
+		case <-deadline:
+			t.Fatalf("timeout: %d/%d points after %d injected", p.Stats().DBPoints, completing, injected)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestPipelineWebSocketLiveFeedFromPackets(t *testing.T) {
+	// Full path: packets → engine → bus → enricher → hub → real WS client.
+	w := newWorld(t)
+	p, err := New(Config{GeoDB: w.DB(), Queues: 2, HandshakeTimeout: 60e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	srv := httptest.NewServer(p.Hub)
+	defer srv.Close()
+	client, err := ws.Dial("ws://" + strings.TrimPrefix(srv.URL, "http://") + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Hub.Clients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no hub client")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	g, err := gen.New(gen.Config{Seed: 37, World: w, FlowRate: 100, Duration: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.RunToPort(p.Port, false)
+
+	client.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var e analytics.Enriched
+	for i := 0; i < 20; i++ {
+		op, msg, err := client.ReadMessage()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if op != ws.OpText {
+			t.Fatalf("opcode %v", op)
+		}
+		if err := json.Unmarshal(msg, &e); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		if e.TotalNs <= 0 || e.Src.City == "" {
+			t.Fatalf("incomplete measurement: %+v", e)
+		}
+	}
+}
+
+func TestPipelineContinuousRTT(t *testing.T) {
+	// TrackTimestamps: packets with TS options → TSTracker → geo-tagged
+	// "rtt_stream" points in the TSDB.
+	w := newWorld(t)
+	p, err := New(Config{
+		GeoDB: w.DB(), Queues: 2, HandshakeTimeout: 60e9,
+		TrackTimestamps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	g, err := gen.New(gen.Config{
+		Seed: 41, World: w, FlowRate: 100, Duration: 2e9,
+		DataSegments: 2, DataSpacing: 300e6,
+		MidstreamRate:     20,
+		EmitTCPTimestamps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunToPort(p.Port, false)
+
+	deadline := time.After(15 * time.Second)
+	for p.Stats().TSSamples < 100 {
+		select {
+		case <-deadline:
+			t.Fatalf("too few TS samples: %+v", p.Stats())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Give in-flight samples a moment, then query the stream measurement.
+	time.Sleep(100 * time.Millisecond)
+	res, err := p.DB.Execute(tsdb.Query{
+		Measurement: "rtt_stream", Field: "rtt_ms",
+		Start: 0, End: 120e9,
+		GroupBy: "echoer_city",
+		Aggs:    []tsdb.AggKind{tsdb.AggCount, tsdb.AggMedian},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 2 {
+		t.Fatalf("only %d echoer cities", len(res))
+	}
+	totalCount := 0
+	for _, r := range res {
+		if r.Group == "" || r.Group == "Unknown" {
+			t.Fatalf("unenriched group %q", r.Group)
+		}
+		totalCount += r.Buckets[0].Count
+	}
+	if totalCount < 100 {
+		t.Fatalf("only %d stream points", totalCount)
+	}
+}
+
+func TestPipelineFloodDetectionViaExpiry(t *testing.T) {
+	// SYN-flood packets (never answered) must travel: port → engine →
+	// expiry → flood detector. Uses a short handshake timeout so eviction
+	// happens within the trace.
+	w := newWorld(t)
+	p, err := New(Config{
+		GeoDB:            w.DB(),
+		Queues:           2,
+		HandshakeTimeout: 1e9,
+		Flood: anomaly.FloodConfig{
+			BucketNs: 1e9, MinCount: 100, Ratio: 6, WarmupBuckets: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	g, err := gen.New(gen.Config{
+		Seed: 3, World: w, FlowRate: 20, Duration: 25e9,
+		Floods: []gen.FloodSpec{
+			// Ambient internet scanning noise: a few unanswered SYNs/s
+			// throughout, which is what the detector's baseline learns.
+			{Start: 0, Duration: 25e9, Rate: 5, SrcCity: 7, DstCity: 2},
+			// The attack.
+			{Start: 10e9, Duration: 3e9, Rate: 2000, SrcCity: 4, DstCity: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunToPort(p.Port, false)
+
+	// Wait until the engine has drained and evicted the flood entries.
+	deadline := time.After(15 * time.Second)
+	for {
+		st := p.Stats()
+		if st.Engine.ExpiredAwait > 3000 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("flood entries never expired: %+v", st.Engine)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	p.FlushDetectors()
+	if evs := p.FloodEvents(); len(evs) == 0 {
+		t.Fatal("SYN flood not detected")
+	}
+}

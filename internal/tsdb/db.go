@@ -1,0 +1,221 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+)
+
+// Options configures a DB.
+type Options struct {
+	// ShardDuration is the time width of one shard (default 1h of the
+	// data's own clock).
+	ShardDuration int64
+	// Retention drops shards whose end is older than this much behind the
+	// newest point (0 = keep everything).
+	Retention int64
+}
+
+// DB is the time-series database. Safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	opts   Options
+	shards map[int64]*shard // keyed by shard start time
+	order  []int64          // sorted shard starts
+	maxT   int64
+	closed bool
+
+	written uint64
+	dropped uint64 // points dropped by retention at write time
+}
+
+// shard holds all series for one time slice.
+type shard struct {
+	start, end int64
+	series     map[string]*series
+	// index: tag key -> tag value -> series keys
+	index map[string]map[string][]*series
+}
+
+// series is one (measurement, tagset) column store.
+type series struct {
+	name   string
+	tags   []Tag
+	times  []int64
+	fields map[string][]float64
+}
+
+// Open creates an empty DB.
+func Open(opts Options) *DB {
+	if opts.ShardDuration <= 0 {
+		opts.ShardDuration = int64(3600) * 1e9
+	}
+	return &DB{
+		opts:   opts,
+		shards: make(map[int64]*shard),
+	}
+}
+
+// WriteStats returns (points written, points dropped by retention).
+func (db *DB) WriteStats() (written, dropped uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.written, db.dropped
+}
+
+// Write stores one point. Tags are sorted in place. Points older than the
+// retention horizon are dropped.
+func (db *DB) Write(p *Point) error {
+	if len(p.Fields) == 0 {
+		return ErrNoFields
+	}
+	sortTags(p.Tags)
+	key := seriesKey(p.Name, p.Tags)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosedDB
+	}
+	if p.Time > db.maxT {
+		db.maxT = p.Time
+	}
+	if db.opts.Retention > 0 && p.Time < db.maxT-db.opts.Retention {
+		db.dropped++
+		return nil
+	}
+	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
+	sh, ok := db.shards[start]
+	if !ok {
+		sh = &shard{
+			start:  start,
+			end:    start + db.opts.ShardDuration,
+			series: make(map[string]*series),
+			index:  make(map[string]map[string][]*series),
+		}
+		db.shards[start] = sh
+		db.order = insertSorted(db.order, start)
+	}
+	sr, ok := sh.series[key]
+	if !ok {
+		tags := make([]Tag, len(p.Tags))
+		copy(tags, p.Tags)
+		sr = &series{name: p.Name, tags: tags, fields: make(map[string][]float64)}
+		sh.series[key] = sr
+		for _, t := range tags {
+			vm := sh.index[t.Key]
+			if vm == nil {
+				vm = make(map[string][]*series)
+				sh.index[t.Key] = vm
+			}
+			vm[t.Value] = append(vm[t.Value], sr)
+		}
+	}
+	sr.times = append(sr.times, p.Time)
+	for _, f := range p.Fields {
+		col := sr.fields[f.Key]
+		// Pad the column if this field was absent for earlier points.
+		for len(col) < len(sr.times)-1 {
+			col = append(col, nan)
+		}
+		sr.fields[f.Key] = append(col, f.Value)
+	}
+	// Pad any fields missing from this point.
+	for k, col := range sr.fields {
+		if len(col) < len(sr.times) {
+			sr.fields[k] = append(col, nan)
+		}
+	}
+	db.written++
+	db.enforceRetentionLocked()
+	return nil
+}
+
+// WriteLine parses one line-protocol record and stores it.
+func (db *DB) WriteLine(line string) error {
+	var p Point
+	if err := ParseLine(line, &p); err != nil {
+		return err
+	}
+	return db.Write(&p)
+}
+
+// enforceRetentionLocked drops whole shards beyond the horizon.
+func (db *DB) enforceRetentionLocked() {
+	if db.opts.Retention <= 0 {
+		return
+	}
+	horizon := db.maxT - db.opts.Retention
+	for len(db.order) > 0 {
+		start := db.order[0]
+		sh := db.shards[start]
+		if sh.end > horizon {
+			break
+		}
+		delete(db.shards, start)
+		db.order = db.order[1:]
+	}
+}
+
+// ShardCount returns the number of live shards.
+func (db *DB) ShardCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.shards)
+}
+
+// SeriesCount returns the number of distinct series across shards.
+func (db *DB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, sh := range db.shards {
+		n += len(sh.series)
+	}
+	return n
+}
+
+// TagValues returns the sorted distinct values of a tag key within
+// [start, end), for dashboard pickers.
+func (db *DB) TagValues(key string, start, end int64) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, shStart := range db.order {
+		sh := db.shards[shStart]
+		if sh.end <= start || sh.start >= end {
+			continue
+		}
+		for v := range sh.index[key] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close marks the DB closed; subsequent writes fail.
+func (db *DB) Close() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func insertSorted(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,270 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+)
+
+var nan = math.NaN()
+
+// AggKind selects an aggregation function.
+type AggKind string
+
+// Supported aggregations — the set Ruru's Grafana dashboards display
+// ("min, max, median, mean" plus tail quantiles and counts).
+const (
+	AggMin    AggKind = "min"
+	AggMax    AggKind = "max"
+	AggMean   AggKind = "mean"
+	AggMedian AggKind = "median"
+	AggP95    AggKind = "p95"
+	AggP99    AggKind = "p99"
+	AggCount  AggKind = "count"
+	AggSum    AggKind = "sum"
+)
+
+// ValidAgg reports whether k names a supported aggregation.
+func ValidAgg(k AggKind) bool {
+	switch k {
+	case AggMin, AggMax, AggMean, AggMedian, AggP95, AggP99, AggCount, AggSum:
+		return true
+	}
+	return false
+}
+
+// Query selects windowed aggregates of one field.
+type Query struct {
+	Measurement string
+	Field       string
+	Start, End  int64 // [Start, End)
+	Where       []Tag // equality filters, ANDed
+	GroupBy     string
+	Aggs        []AggKind
+	// Window is the time bucket width; 0 means one bucket spanning the
+	// whole range.
+	Window int64
+}
+
+// Bucket is one output time window.
+type Bucket struct {
+	Start int64               `json:"start"`
+	Count int                 `json:"count"`
+	Aggs  map[AggKind]float64 `json:"aggs"`
+}
+
+// SeriesResult is the output for one group.
+type SeriesResult struct {
+	Group   string   `json:"group"` // GroupBy tag value, "" without GroupBy
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Execute runs q and returns one SeriesResult per group, sorted by group.
+func (db *DB) Execute(q Query) ([]SeriesResult, error) {
+	if q.Measurement == "" || q.Field == "" || q.End <= q.Start {
+		return nil, ErrBadQuery
+	}
+	if len(q.Aggs) == 0 {
+		q.Aggs = []AggKind{AggMean}
+	}
+	for _, a := range q.Aggs {
+		if !ValidAgg(a) {
+			return nil, ErrUnknownAgg
+		}
+	}
+	window := q.Window
+	if window <= 0 {
+		window = q.End - q.Start
+	}
+	nBuckets := int((q.End - q.Start + window - 1) / window)
+	if nBuckets <= 0 || nBuckets > 1<<20 {
+		return nil, ErrBadQuery
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	// collect per-group, per-bucket raw values
+	groups := map[string][][]float64{}
+	for _, shStart := range db.order {
+		sh := db.shards[shStart]
+		if sh.end <= q.Start || sh.start >= q.End {
+			continue
+		}
+		for _, sr := range db.candidateSeries(sh, q) {
+			if sr.name != q.Measurement || !matchTags(sr.tags, q.Where) {
+				continue
+			}
+			col, ok := sr.fields[q.Field]
+			if !ok {
+				continue
+			}
+			group := ""
+			if q.GroupBy != "" {
+				group = tagValue(sr.tags, q.GroupBy)
+			}
+			buckets := groups[group]
+			if buckets == nil {
+				buckets = make([][]float64, nBuckets)
+				groups[group] = buckets
+			}
+			// Series times are append-ordered; measurements arrive
+			// roughly in order but not strictly — scan all.
+			for i, ts := range sr.times {
+				if ts < q.Start || ts >= q.End {
+					continue
+				}
+				v := col[i]
+				if math.IsNaN(v) {
+					continue
+				}
+				b := int((ts - q.Start) / window)
+				buckets[b] = append(buckets[b], v)
+			}
+		}
+	}
+
+	out := make([]SeriesResult, 0, len(groups))
+	for g, buckets := range groups {
+		res := SeriesResult{Group: g, Buckets: make([]Bucket, nBuckets)}
+		for i := range buckets {
+			res.Buckets[i] = aggregate(q.Start+int64(i)*window, buckets[i], q.Aggs)
+		}
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out, nil
+}
+
+// candidateSeries narrows the scan using the inverted index when a filter
+// or group-by key exists; otherwise returns all series in the shard.
+func (db *DB) candidateSeries(sh *shard, q Query) []*series {
+	// Use the most selective Where clause available in this shard's index.
+	var best []*series
+	found := false
+	for _, w := range q.Where {
+		if vm, ok := sh.index[w.Key]; ok {
+			list := vm[w.Value]
+			if !found || len(list) < len(best) {
+				best = list
+				found = true
+			}
+		} else {
+			// Key not present in this shard at all: no series matches.
+			return nil
+		}
+	}
+	if found {
+		return best
+	}
+	all := make([]*series, 0, len(sh.series))
+	for _, sr := range sh.series {
+		all = append(all, sr)
+	}
+	return all
+}
+
+func matchTags(tags []Tag, where []Tag) bool {
+	for _, w := range where {
+		if tagValue(tags, w.Key) != w.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func tagValue(tags []Tag, key string) string {
+	for _, t := range tags {
+		if t.Key == key {
+			return t.Value
+		}
+	}
+	return ""
+}
+
+// aggregate computes the requested aggregations over vals.
+func aggregate(start int64, vals []float64, aggs []AggKind) Bucket {
+	b := Bucket{Start: start, Count: len(vals), Aggs: make(map[AggKind]float64, len(aggs))}
+	if len(vals) == 0 {
+		for _, a := range aggs {
+			if a == AggCount || a == AggSum {
+				b.Aggs[a] = 0
+			} else {
+				b.Aggs[a] = nan
+			}
+		}
+		return b
+	}
+	var sorted []float64
+	needSort := false
+	for _, a := range aggs {
+		if a == AggMedian || a == AggP95 || a == AggP99 {
+			needSort = true
+		}
+	}
+	if needSort {
+		sorted = make([]float64, len(vals))
+		copy(sorted, vals)
+		sort.Float64s(sorted)
+	}
+	for _, a := range aggs {
+		switch a {
+		case AggMin:
+			m := vals[0]
+			for _, v := range vals[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			b.Aggs[a] = m
+		case AggMax:
+			m := vals[0]
+			for _, v := range vals[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			b.Aggs[a] = m
+		case AggMean:
+			s := 0.0
+			for _, v := range vals {
+				s += v
+			}
+			b.Aggs[a] = s / float64(len(vals))
+		case AggSum:
+			s := 0.0
+			for _, v := range vals {
+				s += v
+			}
+			b.Aggs[a] = s
+		case AggCount:
+			b.Aggs[a] = float64(len(vals))
+		case AggMedian:
+			b.Aggs[a] = quantileSorted(sorted, 0.5)
+		case AggP95:
+			b.Aggs[a] = quantileSorted(sorted, 0.95)
+		case AggP99:
+			b.Aggs[a] = quantileSorted(sorted, 0.99)
+		}
+	}
+	return b
+}
+
+// quantileSorted returns the linear-interpolated q-quantile of sorted vs.
+func quantileSorted(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return nan
+	}
+	if q <= 0 {
+		return vs[0]
+	}
+	if q >= 1 {
+		return vs[len(vs)-1]
+	}
+	idx := q * float64(len(vs)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(vs) {
+		return vs[lo]
+	}
+	return vs[lo]*(1-frac) + vs[lo+1]*frac
+}

@@ -1,0 +1,72 @@
+package tsdb
+
+import (
+	"bufio"
+	"io"
+)
+
+// Snapshot serializes the database's full contents as Influx line protocol,
+// one point per line — the "long-term storage" half of the paper's InfluxDB
+// role. The format is interoperable: a snapshot can be replayed into a real
+// InfluxDB, POSTed to another Ruru's /write endpoint, or restored with
+// Restore.
+//
+// Snapshot holds the read lock for its duration; writes block meanwhile.
+func (db *DB) Snapshot(w io.Writer) (points int64, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 512)
+	var p Point
+	for _, start := range db.order {
+		sh := db.shards[start]
+		for _, sr := range sh.series {
+			for i, ts := range sr.times {
+				p.Name = sr.name
+				p.Tags = sr.tags
+				p.Fields = p.Fields[:0]
+				for k, col := range sr.fields {
+					v := col[i]
+					if v != v { // NaN: field absent for this point
+						continue
+					}
+					p.Fields = append(p.Fields, Field{Key: k, Value: v})
+				}
+				if len(p.Fields) == 0 {
+					continue
+				}
+				p.Time = ts
+				buf = MarshalLine(buf[:0], &p)
+				buf = append(buf, '\n')
+				if _, err := bw.Write(buf); err != nil {
+					return points, err
+				}
+				points++
+			}
+		}
+	}
+	return points, bw.Flush()
+}
+
+// Restore replays a line-protocol stream (as produced by Snapshot) into the
+// database. Returns the number of points written; stops at the first
+// malformed line.
+func (db *DB) Restore(r io.Reader) (points int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var p Point
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		if err := ParseLine(line, &p); err != nil {
+			return points, err
+		}
+		if err := db.Write(&p); err != nil {
+			return points, err
+		}
+		points++
+	}
+	return points, sc.Err()
+}

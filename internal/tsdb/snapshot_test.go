@@ -1,0 +1,130 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := Open(Options{ShardDuration: 10e9})
+	cities := []string{"Auckland", "Sydney", "Tokyo"}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		db.Write(pt("latency", int64(i)*1e7,
+			map[string]string{"src_city": cities[i%3]},
+			map[string]float64{"total_ms": float64(i%500) + 0.5, "internal_ms": float64(i % 50)}))
+	}
+	var buf bytes.Buffer
+	points, err := db.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != n {
+		t.Fatalf("snapshot wrote %d points, want %d", points, n)
+	}
+
+	db2 := Open(Options{ShardDuration: 10e9})
+	restored, err := db2.Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n {
+		t.Fatalf("restored %d points", restored)
+	}
+	// Queries must agree exactly.
+	q := Query{Measurement: "latency", Field: "total_ms", Start: 0, End: 1e12,
+		GroupBy: "src_city",
+		Aggs:    []AggKind{AggCount, AggMin, AggMax, AggMean, AggMedian}}
+	r1, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("group counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Group != r2[i].Group {
+			t.Fatalf("group %d: %q vs %q", i, r1[i].Group, r2[i].Group)
+		}
+		b1, b2 := r1[i].Buckets[0], r2[i].Buckets[0]
+		if b1.Count != b2.Count {
+			t.Fatalf("%s: count %d vs %d", r1[i].Group, b1.Count, b2.Count)
+		}
+		for _, agg := range q.Aggs {
+			if math.Abs(b1.Aggs[agg]-b2.Aggs[agg]) > 1e-9 {
+				t.Fatalf("%s %s: %v vs %v", r1[i].Group, agg, b1.Aggs[agg], b2.Aggs[agg])
+			}
+		}
+	}
+}
+
+func TestSnapshotMixedFields(t *testing.T) {
+	// Points with different field sets in one series: NaN padding must
+	// not leak into the snapshot.
+	db := Open(Options{})
+	db.Write(pt("m", 1, nil, map[string]float64{"a": 1}))
+	db.Write(pt("m", 2, nil, map[string]float64{"b": 2}))
+	var buf bytes.Buffer
+	points, err := db.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != 2 {
+		t.Fatalf("points = %d", points)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("NaN leaked: %s", buf.String())
+	}
+	db2 := Open(Options{})
+	if _, err := db2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := db2.Execute(Query{Measurement: "m", Field: "a", Start: 0, End: 10, Aggs: []AggKind{AggCount}})
+	rb, _ := db2.Execute(Query{Measurement: "m", Field: "b", Start: 0, End: 10, Aggs: []AggKind{AggCount}})
+	if ra[0].Buckets[0].Count != 1 || rb[0].Buckets[0].Count != 1 {
+		t.Fatal("field separation lost through snapshot")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	db := Open(Options{})
+	n, err := db.Restore(strings.NewReader("latency v=1 1\nGARBAGE\n"))
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if n != 1 {
+		t.Fatalf("points before error = %d", n)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	db := Open(Options{})
+	var buf bytes.Buffer
+	points, err := db.Snapshot(&buf)
+	if err != nil || points != 0 || buf.Len() != 0 {
+		t.Fatalf("empty snapshot: %d points, %d bytes, %v", points, buf.Len(), err)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	db := Open(Options{})
+	for i := 0; i < 100000; i++ {
+		db.Write(pt("latency", int64(i)*1e6,
+			map[string]string{"src_city": "Auckland"},
+			map[string]float64{"total_ms": float64(i % 500)}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := db.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package web exposes Ruru's HTTP API: the Grafana-style statistics queries
+// (paper §2: "the Grafana UI also shows statistics and graphs of the
+// measured end-to-end latency (e.g., min, max, median, mean) for a required
+// time interval"), the live-map WebSocket endpoint and arc feed, pipeline
+// counters, and anomaly events.
+//
+// Endpoints:
+//
+//	GET /api/stats      — pipeline counters (JSON)
+//	GET /api/query      — windowed aggregates from the TSDB
+//	GET /api/tags       — distinct tag values for dashboard pickers
+//	GET /api/arcs       — recent arcs for the 3D map (JSON)
+//	GET /api/anomalies  — latency-spike and surge events
+//	GET /ws             — WebSocket live measurement feed
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ruru/internal/anomaly"
+	"ruru/internal/ruru"
+	"ruru/internal/tsdb"
+)
+
+// Server wires a Pipeline to an http.Handler.
+type Server struct {
+	p   *ruru.Pipeline
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler around p.
+func NewServer(p *ruru.Pipeline) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/tags", s.handleTags)
+	s.mux.HandleFunc("GET /api/arcs", s.handleArcs)
+	s.mux.HandleFunc("GET /api/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("POST /write", s.handleWrite)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.Handle("GET /ws", p.Hub)
+	return s
+}
+
+// handleSnapshot streams the whole TSDB as line protocol — the export half
+// of long-term storage. The output can be POSTed back to /write (here or on
+// a real InfluxDB) to restore.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.p.DB.Snapshot(w)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.p.Stats())
+}
+
+// handleQuery: /api/query?measurement=latency&field=total_ms&start=0&end=1e12
+//
+//	&window=1e9&group_by=src_city&agg=mean,median&where=src_city:Auckland
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	query := tsdb.Query{
+		Measurement: q.Get("measurement"),
+		Field:       q.Get("field"),
+		GroupBy:     q.Get("group_by"),
+	}
+	if query.Measurement == "" {
+		query.Measurement = "latency"
+	}
+	if query.Field == "" {
+		query.Field = "total_ms"
+	}
+	var err error
+	if query.Start, err = parseInt(q.Get("start"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad start")
+		return
+	}
+	if query.End, err = parseInt(q.Get("end"), 0); err != nil || query.End <= query.Start {
+		httpError(w, http.StatusBadRequest, "bad end")
+		return
+	}
+	if query.Window, err = parseInt(q.Get("window"), 0); err != nil {
+		httpError(w, http.StatusBadRequest, "bad window")
+		return
+	}
+	for _, agg := range strings.Split(q.Get("agg"), ",") {
+		agg = strings.TrimSpace(agg)
+		if agg == "" {
+			continue
+		}
+		if !tsdb.ValidAgg(tsdb.AggKind(agg)) {
+			httpError(w, http.StatusBadRequest, "unknown agg "+agg)
+			return
+		}
+		query.Aggs = append(query.Aggs, tsdb.AggKind(agg))
+	}
+	for _, clause := range q["where"] {
+		k, v, ok := strings.Cut(clause, ":")
+		if !ok {
+			httpError(w, http.StatusBadRequest, "bad where clause")
+			return
+		}
+		query.Where = append(query.Where, tsdb.Tag{Key: k, Value: v})
+	}
+	res, err := s.p.DB.Execute(query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	start, err := parseInt(q.Get("start"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad start")
+		return
+	}
+	end, err := parseInt(q.Get("end"), 1<<62)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad end")
+		return
+	}
+	writeJSON(w, s.p.DB.TagValues(key, start, end))
+}
+
+// Arc is the live-map feed entry.
+type Arc struct {
+	FromLat float64 `json:"from_lat"`
+	FromLon float64 `json:"from_lon"`
+	ToLat   float64 `json:"to_lat"`
+	ToLon   float64 `json:"to_lon"`
+	TotalNs int64   `json:"total_ns"`
+	SrcCity string  `json:"src_city"`
+	DstCity string  `json:"dst_city"`
+	Time    int64   `json:"time"`
+}
+
+func (s *Server) handleArcs(w http.ResponseWriter, r *http.Request) {
+	n, err := parseInt(r.URL.Query().Get("n"), 1000)
+	if err != nil || n < 0 {
+		httpError(w, http.StatusBadRequest, "bad n")
+		return
+	}
+	recent := s.p.RecentArcs(int(n))
+	out := make([]Arc, 0, len(recent))
+	for i := range recent {
+		e := &recent[i]
+		out = append(out, Arc{
+			FromLat: e.Src.Lat, FromLon: e.Src.Lon,
+			ToLat: e.Dst.Lat, ToLon: e.Dst.Lon,
+			TotalNs: e.TotalNs,
+			SrcCity: e.Src.City, DstCity: e.Dst.City,
+			Time: e.Time,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	events := s.p.SpikeEvents()
+	events = append(events, s.p.Surge.Events()...)
+	events = append(events, s.p.FloodEvents()...)
+	if events == nil {
+		events = []anomaly.Event{}
+	}
+	writeJSON(w, events)
+}
+
+// handleWrite accepts Influx line protocol (one point per line), the ingest
+// API external collectors POST to — Ruru's TSDB is wire-compatible with the
+// paper's InfluxDB deployment at this boundary. Returns 204 on full success
+// (Influx convention) or 400 with a per-line error summary.
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read error")
+		return
+	}
+	var firstErr string
+	wrote, failed := 0, 0
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := s.p.DB.WriteLine(line); err != nil {
+			failed++
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("%v in line %q", err, line)
+			}
+			continue
+		}
+		wrote++
+	}
+	if failed > 0 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("wrote %d, rejected %d: %s", wrote, failed, firstErr))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func parseInt(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	// Accept scientific notation (1e12) for convenience.
+	if strings.ContainsAny(s, "eE.") {
+		f, err := strconv.ParseFloat(s, 64)
+		return int64(f), err
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

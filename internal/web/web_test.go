@@ -1,0 +1,304 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ruru/internal/analytics"
+	"ruru/internal/geo"
+	"ruru/internal/ruru"
+	"ruru/internal/tsdb"
+	"ruru/internal/ws"
+)
+
+func newServer(t *testing.T) (*ruru.Pipeline, *httptest.Server) {
+	t.Helper()
+	w, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ruru.New(ruru.Config{GeoDB: w.DB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(func() { srv.Close(); p.Close() })
+	return p, srv
+}
+
+func feedSamples(p *ruru.Pipeline, n int) {
+	e := analytics.Enriched{
+		Src: analytics.Endpoint{City: "Auckland", CountryCode: "NZ", Lat: -36.85, Lon: 174.76, ASN: 64000},
+		Dst: analytics.Endpoint{City: "Los Angeles", CountryCode: "US", Lat: 34.05, Lon: -118.24, ASN: 64004},
+	}
+	for i := 0; i < n; i++ {
+		e.Time = int64(i) * 1e9
+		e.TotalNs = int64(140e6 + i%20*1e6)
+		e.InternalNs = 15e6
+		e.ExternalNs = e.TotalNs - e.InternalNs
+		p.Feed(&e)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 10)
+	var st map[string]any
+	getJSON(t, srv.URL+"/api/stats", &st)
+	if st["DBPoints"].(float64) != 10 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 100)
+	var res []tsdb.SeriesResult
+	getJSON(t, srv.URL+"/api/query?measurement=latency&field=total_ms&start=0&end=1e12&agg=count,mean,median&group_by=src_city", &res)
+	if len(res) != 1 || res[0].Group != "Auckland" {
+		t.Fatalf("res: %+v", res)
+	}
+	b := res[0].Buckets[0]
+	if b.Count != 100 {
+		t.Fatalf("count = %d", b.Count)
+	}
+	if b.Aggs[tsdb.AggMean] < 140 || b.Aggs[tsdb.AggMean] > 160 {
+		t.Fatalf("mean = %v", b.Aggs[tsdb.AggMean])
+	}
+	// Filtered query.
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e12&agg=count&where=src_city:Auckland", &res)
+	if res[0].Buckets[0].Count != 100 {
+		t.Fatalf("filtered: %+v", res)
+	}
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e12&agg=count&where=src_city:Nowhere", &res)
+	if len(res) != 0 {
+		t.Fatalf("bogus filter matched: %+v", res)
+	}
+}
+
+func TestQueryEndpointValidation(t *testing.T) {
+	_, srv := newServer(t)
+	for _, u := range []string{
+		"/api/query",                      // missing end
+		"/api/query?start=10&end=5",       // inverted
+		"/api/query?end=10&agg=bogus",     // unknown agg
+		"/api/query?end=10&where=nocolon", // bad where
+		"/api/query?end=abc",              // unparseable
+	} {
+		resp := getJSON(t, srv.URL+u, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d", u, resp.StatusCode)
+		}
+	}
+}
+
+func TestTagsEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 5)
+	var tags []string
+	getJSON(t, srv.URL+"/api/tags?key=src_city", &tags)
+	if len(tags) != 1 || tags[0] != "Auckland" {
+		t.Fatalf("tags: %v", tags)
+	}
+	resp := getJSON(t, srv.URL+"/api/tags", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing key: %d", resp.StatusCode)
+	}
+}
+
+func TestArcsEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 50)
+	var arcs []Arc
+	getJSON(t, srv.URL+"/api/arcs?n=10", &arcs)
+	if len(arcs) != 10 {
+		t.Fatalf("%d arcs", len(arcs))
+	}
+	a := arcs[0]
+	if a.SrcCity != "Auckland" || a.DstCity != "Los Angeles" {
+		t.Fatalf("arc: %+v", a)
+	}
+	if a.FromLat > -30 || a.ToLat < 30 {
+		t.Fatalf("coordinates: %+v", a)
+	}
+}
+
+func TestAnomaliesEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 500)
+	// Inject a glitch through the pipeline.
+	e := analytics.Enriched{
+		Time: 600e9, TotalNs: 4145e6,
+		Src: analytics.Endpoint{City: "Auckland"},
+		Dst: analytics.Endpoint{City: "Los Angeles"},
+	}
+	p.Feed(&e)
+	var events []map[string]any
+	getJSON(t, srv.URL+"/api/anomalies", &events)
+	found := false
+	for _, ev := range events {
+		if ev["Kind"] == "latency_spike" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no spike event in %v", events)
+	}
+}
+
+func TestWebSocketLiveFeed(t *testing.T) {
+	p, srv := newServer(t)
+	url := "ws://" + strings.TrimPrefix(srv.URL, "http://") + "/ws"
+	c, err := ws.Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Hub.Clients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	feedSamples(p, 3)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 3; i++ {
+		op, msg, err := c.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != ws.OpText {
+			t.Fatalf("opcode %v", op)
+		}
+		var e analytics.Enriched
+		if err := json.Unmarshal(msg, &e); err != nil {
+			t.Fatalf("bad JSON: %v (%s)", err, msg)
+		}
+		if e.Src.City != "Auckland" {
+			t.Fatalf("payload: %+v", e)
+		}
+	}
+}
+
+func TestWriteEndpointLineProtocol(t *testing.T) {
+	p, srv := newServer(t)
+	body := strings.NewReader(
+		"latency,src_city=Sydney,dst_city=Tokyo total_ms=123.5 1000000000\n" +
+			"# a comment\n" +
+			"latency,src_city=Sydney,dst_city=Tokyo total_ms=150 2000000000\n")
+	resp, err := http.Post(srv.URL+"/write", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var res []tsdb.SeriesResult
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e10&agg=count,max&where=src_city:Sydney", &res)
+	if len(res) != 1 || res[0].Buckets[0].Count != 2 || res[0].Buckets[0].Aggs[tsdb.AggMax] != 150 {
+		t.Fatalf("ingested data wrong: %+v", res)
+	}
+	_ = p
+	// Malformed lines are rejected with a 400 and error detail.
+	resp, err = http.Post(srv.URL+"/write", "text/plain", strings.NewReader("garbage without fields"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 25)
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	lines := strings.Count(string(body[:n]), "\n")
+	if lines != 25 {
+		t.Fatalf("snapshot has %d lines, want 25", lines)
+	}
+	// The snapshot must round-trip through /write on a fresh pipeline.
+	p2, srv2 := newServer(t)
+	resp2, err := http.Post(srv2.URL+"/write", "text/plain", strings.NewReader(string(body[:n])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("restore status %d", resp2.StatusCode)
+	}
+	if w, _ := p2.DB.WriteStats(); w != 25 {
+		t.Fatalf("restored %d points", w)
+	}
+}
+
+func TestParseIntForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 7, true}, {"123", 123, true}, {"1e9", 1e9, true},
+		{"2.5e9", 25e8, true}, {"abc", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseInt(c.in, 7)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("parseInt(%q) = %d, %v", c.in, got, err)
+		}
+	}
+}
+
+func BenchmarkQueryEndpoint(b *testing.B) {
+	w, _ := geo.NewWorld(geo.WorldOptions{})
+	p, _ := ruru.New(ruru.Config{GeoDB: w.DB()})
+	defer p.Close()
+	e := analytics.Enriched{
+		Src: analytics.Endpoint{City: "Auckland"},
+		Dst: analytics.Endpoint{City: "Los Angeles"},
+	}
+	for i := 0; i < 50000; i++ {
+		e.Time = int64(i) * 1e7
+		e.TotalNs = int64(140e6 + i%50*1e6)
+		p.Feed(&e)
+	}
+	srv := httptest.NewServer(NewServer(p))
+	defer srv.Close()
+	url := srv.URL + "/api/query?start=0&end=1e12&window=1e10&agg=mean,median,p99&group_by=src_city"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

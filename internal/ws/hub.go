@@ -1,0 +1,126 @@
+package ws
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Hub broadcasts messages to every connected WebSocket client. Each client
+// has a buffered outbound queue; when a client falls behind by more than its
+// queue depth, messages for it are dropped (counted), so the live map keeps
+// its real-time property no matter how slow an individual browser is —
+// matching the paper's "visualizes multiple thousands of connections per
+// second ... on-the-fly" requirement.
+type Hub struct {
+	queue int
+
+	mu      sync.Mutex
+	clients map[*hubClient]struct{}
+	closed  bool
+
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+type hubClient struct {
+	conn *Conn
+	ch   chan []byte
+	once sync.Once
+}
+
+// NewHub creates a hub with the given per-client queue depth (default 256).
+func NewHub(queue int) *Hub {
+	if queue <= 0 {
+		queue = 256
+	}
+	return &Hub{queue: queue, clients: make(map[*hubClient]struct{})}
+}
+
+// ServeHTTP upgrades the request and services the client until it leaves.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	conn, err := Upgrade(w, r)
+	if err != nil {
+		return
+	}
+	c := &hubClient{conn: conn, ch: make(chan []byte, h.queue)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.clients[c] = struct{}{}
+	h.mu.Unlock()
+
+	// Reader goroutine: clients don't send data, but reading services
+	// ping/pong and detects disconnects.
+	go func() {
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				h.drop(c)
+				return
+			}
+		}
+	}()
+	for msg := range c.ch {
+		if err := conn.WriteMessage(OpText, msg); err != nil {
+			h.drop(c)
+			return
+		}
+		h.sent.Add(1)
+	}
+	conn.Close()
+}
+
+func (h *Hub) drop(c *hubClient) {
+	h.mu.Lock()
+	if _, ok := h.clients[c]; ok {
+		delete(h.clients, c)
+		c.once.Do(func() { close(c.ch) })
+	}
+	h.mu.Unlock()
+	c.conn.Close()
+}
+
+// Broadcast queues msg for every connected client without blocking.
+// Clients over their queue depth miss the message.
+func (h *Hub) Broadcast(msg []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for c := range h.clients {
+		select {
+		case c.ch <- msg:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// Clients returns the current client count.
+func (h *Hub) Clients() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients)
+}
+
+// Stats returns (messages sent, messages dropped to slow clients).
+func (h *Hub) Stats() (sent, dropped uint64) {
+	return h.sent.Load(), h.dropped.Load()
+}
+
+// Close disconnects all clients and refuses new ones.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	clients := make([]*hubClient, 0, len(h.clients))
+	for c := range h.clients {
+		clients = append(clients, c)
+	}
+	h.clients = map[*hubClient]struct{}{}
+	h.mu.Unlock()
+	for _, c := range clients {
+		c.once.Do(func() { close(c.ch) })
+		c.conn.Close()
+	}
+}
