@@ -7,12 +7,14 @@ package ruru_bench
 
 import (
 	"io"
+	"net/netip"
 	"testing"
 
 	"ruru/internal/core"
 	"ruru/internal/experiments"
 	"ruru/internal/gen"
 	"ruru/internal/geo"
+	"ruru/internal/nic"
 	"ruru/internal/pkt"
 	"ruru/internal/rss"
 	"ruru/internal/tsdb"
@@ -63,6 +65,85 @@ func BenchmarkE1HandshakeEngine(b *testing.B) {
 		hash := h.HashTuple(sum.Src(), sum.Dst(), sum.TCP.SrcPort, sum.TCP.DstPort)
 		table.Process(&sum, tp.TS, hash, &m)
 	}
+}
+
+// BenchmarkIngest measures the raw ingest hand-off (inject → RSS queue →
+// RxBurst → buffer recycle) per injection mode: the per-frame path versus
+// the batched InjectBurst path that amortizes ring synchronization across
+// a whole burst. The Frame→ns/op ratio between the two sub-benchmarks is
+// the tentpole's amortization win.
+func BenchmarkIngest(b *testing.B) {
+	const burst = 64
+	mkPort := func(b *testing.B) (*nic.Port, *nic.Mempool) {
+		b.Helper()
+		pool := nic.NewMempool(8192, 2048)
+		port, err := nic.NewPort(nic.PortConfig{Queues: 1, QueueDepth: 4096, Pool: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return port, pool
+	}
+	frame := func(b *testing.B) []byte {
+		b.Helper()
+		spec := &pkt.TCPFrameSpec{
+			SrcMAC: pkt.MAC{1}, DstMAC: pkt.MAC{2},
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("192.0.2.1"),
+			SrcPort: 40000, DstPort: 443, Flags: pkt.TCPSyn, Window: 65535,
+		}
+		buf := make([]byte, 128)
+		n, err := pkt.BuildTCPFrame(buf, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return buf[:n]
+	}
+
+	b.Run("frame", func(b *testing.B) {
+		port, _ := mkPort(b)
+		f := frame(b)
+		bufs := make([]*nic.Buf, burst)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(f)))
+		for i := 0; i < b.N; i++ {
+			port.InjectPreclassified(f, int64(i), uint32(i))
+			if i%burst == burst-1 {
+				n, _ := port.RxBurst(0, bufs)
+				for j := 0; j < n; j++ {
+					bufs[j].Free()
+				}
+			}
+		}
+		b.StopTimer()
+		n, _ := port.RxBurst(0, bufs)
+		for j := 0; j < n; j++ {
+			bufs[j].Free()
+		}
+	})
+	b.Run("burst", func(b *testing.B) {
+		port, _ := mkPort(b)
+		f := frame(b)
+		frames := make([]nic.Frame, burst)
+		hashes := make([]uint32, burst)
+		for i := range frames {
+			frames[i] = nic.Frame{Data: f, TS: int64(i)}
+			hashes[i] = uint32(i)
+		}
+		bufs := make([]*nic.Buf, burst)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(f)))
+		for i := 0; i < b.N; i += burst {
+			port.InjectPreclassifiedBurst(frames, hashes)
+			n, _ := port.RxBurst(0, bufs)
+			for j := 0; j < n; j++ {
+				bufs[j].Free()
+			}
+		}
+		b.StopTimer()
+		n, _ := port.RxBurst(0, bufs)
+		for j := 0; j < n; j++ {
+			bufs[j].Free()
+		}
+	})
 }
 
 // BenchmarkE2PipelineScaling runs the multi-queue engine at each queue

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,8 +40,22 @@ func main() {
 		firewall   = flag.Bool("firewall-demo", false, "inject the nightly +4000ms firewall glitch")
 		timestamps = flag.Bool("timestamps", false, "continuous RTT from TCP timestamp echoes (rtt_stream measurement)")
 		snapshot   = flag.String("snapshot", "", "dump the TSDB as line protocol to this file on shutdown")
+		burst      = flag.Int("burst", 64, "ingest/poll burst size (frames per ring round-trip)")
+		overflow   = flag.String("overflow", "drop", "RX queue overflow policy: drop (NIC-faithful) or block (lossless source)")
+		blockMax   = flag.Duration("block-timeout", 0, "deadline for block-policy injection (0: wait indefinitely)")
+		multi      = flag.Bool("multi-consumer", false, "multi-consumer RX rings (several workers may share a queue)")
 	)
 	flag.Parse()
+
+	var policy nic.OverflowPolicy
+	switch *overflow {
+	case "drop":
+		policy = nic.Drop
+	case "block":
+		policy = nic.Block
+	default:
+		log.Fatalf("unknown -overflow %q (want drop or block)", *overflow)
+	}
 
 	world, err := geo.NewWorld(geo.WorldOptions{Seed: *seed, MislabelFraction: 0.02})
 	if err != nil {
@@ -49,6 +64,10 @@ func main() {
 	p, err := ruru.New(ruru.Config{
 		GeoDB:           world.DB(),
 		Queues:          *queues,
+		Burst:           *burst,
+		Overflow:        policy,
+		BlockTimeout:    *blockMax,
+		MultiConsumer:   *multi,
 		TrackTimestamps: *timestamps,
 	})
 	if err != nil {
@@ -102,7 +121,7 @@ func main() {
 	}()
 
 	if *pcapPath != "" {
-		if err := replayPcap(ctx, *pcapPath, p.Port); err != nil {
+		if err := replayPcap(ctx, *pcapPath, p.Port, *burst); err != nil {
 			log.Fatalf("replay: %v", err)
 		}
 	} else {
@@ -152,8 +171,9 @@ func main() {
 	log.Printf("ruru: final stats: %+v", st)
 }
 
-// replayPcap paces a capture into the port on its own timestamps.
-func replayPcap(ctx context.Context, path string, port *nic.Port) error {
+// replayPcap paces a capture into the port on its own timestamps, in
+// bursts (the batched ingest path).
+func replayPcap(ctx context.Context, path string, port *nic.Port, burst int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -163,33 +183,23 @@ func replayPcap(ctx context.Context, path string, port *nic.Port) error {
 	if err != nil {
 		return err
 	}
-	var pk pcap.Packet
-	var first int64 = -1
-	start := time.Now()
-	n := 0
-	for {
-		if err := r.ReadPacket(&pk); err != nil {
-			if n == 0 {
-				return fmt.Errorf("empty capture")
-			}
-			log.Printf("ruru: replayed %d packets", n)
-			return nil
-		}
-		if ctx.Err() != nil {
-			return nil
-		}
-		if first < 0 {
-			first = pk.Timestamp
-		}
-		rel := pk.Timestamp - first
-		if ahead := rel - time.Since(start).Nanoseconds(); ahead > 2e6 {
-			select {
-			case <-time.After(time.Duration(ahead)):
-			case <-ctx.Done():
-				return nil
-			}
-		}
-		port.Inject(pk.Data, rel)
-		n++
+	// On interrupt the engine workers exit, so a block-policy injection
+	// would wait forever for room that never comes: abort its waits.
+	defer context.AfterFunc(ctx, port.Stop)()
+	n, err := pcap.ReplayToPort(ctx, r, port, pcap.ReplayOptions{Burst: burst, Pace: true})
+	switch {
+	case errors.Is(err, context.Canceled):
+		// interrupted: shut down normally
+	case errors.Is(err, pcap.ErrTruncated) && n > 0:
+		// a cut-short capture (tcpdump killed mid-write) is routine:
+		// keep serving what was replayed
+		log.Printf("ruru: capture truncated after %d packets", n)
+	case err != nil:
+		return err
 	}
+	if n == 0 && err == nil {
+		return fmt.Errorf("empty capture")
+	}
+	log.Printf("ruru: replayed %d packets", n)
+	return nil
 }

@@ -1,0 +1,3 @@
+module ruru
+
+go 1.24

@@ -57,7 +57,9 @@ type Measurement struct {
 	Queue int
 }
 
-// TableStats counts per-table outcomes. All counters are cumulative.
+// TableStats is a snapshot of per-table outcomes. All counters are
+// cumulative. The table itself is single-writer; for live cross-goroutine
+// monitoring read the per-burst snapshots Engine.Stats publishes.
 type TableStats struct {
 	Packets       uint64 // TCP packets examined
 	SYNs          uint64 // initial SYNs inserted
@@ -154,7 +156,10 @@ func NewHandshakeTable(cfg TableConfig) *HandshakeTable {
 	}
 }
 
-// Stats returns a snapshot of the table counters.
+// Stats returns a snapshot of the table counters. Single-writer like
+// Process: call it from the owning goroutine (or after processing stops).
+// For live cross-goroutine monitoring use Engine.Stats, which reads the
+// snapshots workers publish once per burst.
 func (t *HandshakeTable) Stats() TableStats {
 	s := t.stats
 	s.Occupancy = uint64(t.live)

@@ -424,8 +424,14 @@ func buildFrame(t testing.TB, src, dst string, sp, dp uint16, flags uint8, seq, 
 }
 
 func TestEngineEndToEnd(t *testing.T) {
+	// Correctness harness: the source must be lossless, so the port runs
+	// the Block overflow policy — injection backpressures instead of
+	// dropping when a queue fills (the test tuples all collide onto one
+	// RSS queue under the symmetric key, so bursts WILL fill it).
 	pool := nic.NewMempool(4096, 2048)
-	port, err := nic.NewPort(nic.PortConfig{Queues: 4, QueueDepth: 1024, Pool: pool})
+	port, err := nic.NewPort(nic.PortConfig{
+		Queues: 4, QueueDepth: 1024, Pool: pool, Policy: nic.Block,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,6 +485,9 @@ func TestEngineEndToEnd(t *testing.T) {
 	}
 	if st := eng.Stats(); st.Completed != flows {
 		t.Fatalf("stats: %+v", st)
+	}
+	if st := port.Stats(); st.Imissed != 0 || st.Ipackets != 3*flows {
+		t.Fatalf("lossless source dropped frames: %+v", st)
 	}
 	if pool.Available() != pool.Size() {
 		t.Fatalf("buffer leak: %d/%d", pool.Available(), pool.Size())

@@ -38,6 +38,63 @@ type TSSinkFunc func(s *TSSample)
 // EmitTS implements TSSink.
 func (f TSSinkFunc) EmitTS(s *TSSample) { f(s) }
 
+// PollConfig tunes the adaptive idle ladder a worker descends when polls
+// come back empty: busy-spin first (a hot queue usually refills within
+// nanoseconds), then cooperative yields, then exponentially growing sleeps.
+// Any amount of traffic resets the ladder, so a loaded worker is always in
+// the spin regime — the DPDK busy-poll behaviour — while an idle worker
+// costs roughly nothing. This replaces the old fixed 50µs PollSleep, whose
+// wake-up latency let queues overflow during injection bursts.
+type PollConfig struct {
+	// Spin is the number of consecutive empty polls served by pure
+	// busy-spinning before the worker starts yielding (default 64).
+	Spin int
+	// Yield is the number of runtime.Gosched rounds after spinning and
+	// before sleeping (default 16).
+	Yield int
+	// SleepMin is the first sleep after the yield phase (default 1µs).
+	SleepMin time.Duration
+	// SleepMax caps the exponential sleep growth (default 100µs).
+	SleepMax time.Duration
+}
+
+func (c *PollConfig) setDefaults(legacySleep time.Duration) {
+	if c.Spin <= 0 {
+		c.Spin = 64
+	}
+	if c.Yield <= 0 {
+		c.Yield = 16
+	}
+	if c.SleepMin <= 0 {
+		c.SleepMin = time.Microsecond
+	}
+	if c.SleepMax <= 0 {
+		c.SleepMax = 100 * time.Microsecond
+		if legacySleep > 0 {
+			c.SleepMax = legacySleep
+		}
+	}
+	if c.SleepMax < c.SleepMin {
+		c.SleepMax = c.SleepMin
+	}
+}
+
+// idleWait advances the ladder by one empty poll.
+func (c *PollConfig) idleWait(idle int) {
+	switch {
+	case idle <= c.Spin:
+		// busy-spin: retry immediately
+	case idle <= c.Spin+c.Yield:
+		runtime.Gosched()
+	default:
+		d := c.SleepMin << uint(min(idle-c.Spin-c.Yield-1, 16))
+		if d > c.SleepMax || d <= 0 {
+			d = c.SleepMax
+		}
+		time.Sleep(d)
+	}
+}
+
 // EngineConfig configures an Engine.
 type EngineConfig struct {
 	// Port is the packet source. Required.
@@ -49,9 +106,10 @@ type EngineConfig struct {
 	Table TableConfig
 	// Burst is the RxBurst size (default 64, DPDK's conventional burst).
 	Burst int
-	// PollSleep is how long a worker sleeps when a poll comes back empty
-	// (default 50µs). Real DPDK busy-polls; yielding keeps tests and
-	// laptop runs civil while preserving burst dynamics under load.
+	// Poll tunes the adaptive idle ladder (zero values get defaults).
+	Poll PollConfig
+	// PollSleep is the legacy fixed idle-sleep knob; when set it becomes
+	// Poll.SleepMax (the worst-case wake-up latency). Prefer Poll.
 	PollSleep time.Duration
 
 	// TSSink, when non-nil, enables continuous RTT tracking from TCP
@@ -66,9 +124,19 @@ type EngineConfig struct {
 type Engine struct {
 	cfg    EngineConfig
 	tables []*HandshakeTable
+	snaps  []statsCell
 
 	mu      sync.Mutex
 	running bool
+}
+
+// statsCell holds the stats snapshot a worker publishes once per burst, so
+// monitors can read live table counters without racing the single-writer
+// hot path. The mutex is uncontended in steady state and the cost is
+// amortized over a whole burst.
+type statsCell struct {
+	mu   sync.Mutex
+	snap TableStats
 }
 
 // NewEngine validates cfg and builds the per-queue state.
@@ -82,10 +150,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 64
 	}
-	if cfg.PollSleep <= 0 {
-		cfg.PollSleep = 50 * time.Microsecond
-	}
-	e := &Engine{cfg: cfg}
+	cfg.Poll.setDefaults(cfg.PollSleep)
+	e := &Engine{cfg: cfg, snaps: make([]statsCell, cfg.Port.NumQueues())}
 	for q := 0; q < cfg.Port.NumQueues(); q++ {
 		tc := cfg.Table
 		tc.Queue = q
@@ -98,12 +164,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 // owning worker or after Run returns).
 func (e *Engine) Tables() []*HandshakeTable { return e.tables }
 
-// Stats aggregates all per-queue table stats. Call after Run has returned
-// (or accept torn counters as monitoring data).
+// Stats aggregates all per-queue table stats. Safe to call from any
+// goroutine at any time: it reads the snapshots each worker publishes at
+// burst boundaries (so values can trail the hot path by up to one burst).
 func (e *Engine) Stats() TableStats {
 	var total TableStats
-	for _, t := range e.tables {
-		s := t.Stats()
+	for q := range e.snaps {
+		cell := &e.snaps[q]
+		cell.mu.Lock()
+		s := cell.snap
+		cell.mu.Unlock()
 		total.Packets += s.Packets
 		total.SYNs += s.SYNs
 		total.SYNRetrans += s.SYNRetrans
@@ -180,30 +250,41 @@ func (e *Engine) runQueue(ctx context.Context, q int) {
 			b.Free()
 		}
 	}
+	// publish copies the table counters into this queue's monitoring cell:
+	// one uncontended lock per burst instead of atomics per packet.
+	publish := func() {
+		snap := table.Stats() // we are the table's single writer
+		cell := &e.snaps[q]
+		cell.mu.Lock()
+		cell.snap = snap
+		cell.mu.Unlock()
+	}
+	defer publish()
+	idle := 0
 	for {
 		n, err := e.cfg.Port.RxBurst(q, bufs)
 		if err != nil {
 			return
 		}
 		processBurst(n)
-		if n == 0 {
-			select {
-			case <-ctx.Done():
-				// Final drain: whatever was enqueued before cancel.
-				for {
-					n, _ := e.cfg.Port.RxBurst(q, bufs)
-					if n == 0 {
-						return
-					}
-					processBurst(n)
+		if n > 0 {
+			publish()
+			idle = 0
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			// Final drain: whatever was enqueued before cancel.
+			for {
+				n, _ := e.cfg.Port.RxBurst(q, bufs)
+				if n == 0 {
+					return
 				}
-			default:
-				if e.cfg.PollSleep > 0 {
-					time.Sleep(e.cfg.PollSleep)
-				} else {
-					runtime.Gosched()
-				}
+				processBurst(n)
 			}
+		default:
+			idle++
+			e.cfg.Poll.idleWait(idle)
 		}
 	}
 }

@@ -144,31 +144,37 @@ func e2Run(trace []gen.TracePacket, meanFrame float64, queues int, cfg E2Config)
 				return
 			}
 			pool := nic.NewMempool(8192, 2048)
-			port, err := nic.NewPort(nic.PortConfig{Queues: 1, QueueDepth: 4096, Pool: pool})
+			port, err := nic.NewPort(nic.PortConfig{
+				Queues: 1, QueueDepth: 4096, Pool: pool,
+				// The DMA stand-in is a lossless looping source: Block
+				// makes backpressure a port concern instead of a
+				// caller-side stats-diff retry loop.
+				Policy: nic.Block,
+			})
 			if err != nil {
 				return
 			}
-			// Delivery goroutine: the per-queue DMA engine. It loops the
-			// unit's share of the trace into the port until the target is
-			// reached, retrying on back-pressure.
+			// Delivery goroutine: the per-queue DMA engine. It streams the
+			// unit's share of the trace into the port in preclassified
+			// bursts until the target is reached.
 			var delivered int64
 			go func() {
+				burst := cfg.Burst
+				frames := make([]nic.Frame, 0, burst)
+				hashes := make([]uint32, 0, burst)
 				i := 0
 				for delivered < perUnit {
-					c := &share[i]
-					i++
-					if i == len(share) {
-						i = 0
-					}
-					for {
-						before := port.Stats().Ipackets
-						port.InjectPreclassified(c.frame, c.ts, c.hash)
-						if port.Stats().Ipackets > before {
-							break
+					frames, hashes = frames[:0], hashes[:0]
+					for len(frames) < burst && delivered+int64(len(frames)) < perUnit {
+						c := &share[i]
+						i++
+						if i == len(share) {
+							i = 0
 						}
-						runtime.Gosched() // queue full: worker is behind
+						frames = append(frames, nic.Frame{Data: c.frame, TS: c.ts})
+						hashes = append(hashes, c.hash)
 					}
-					delivered++
+					delivered += int64(port.InjectPreclassifiedBurst(frames, hashes))
 				}
 			}()
 

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"testing"
+
+	"ruru/internal/nic"
+)
+
+// drainPort empties every queue, freeing buffers, and returns the count.
+func drainPort(t *testing.T, port *nic.Port) int {
+	t.Helper()
+	bufs := make([]*nic.Buf, 256)
+	total := 0
+	for q := 0; q < port.NumQueues(); q++ {
+		for {
+			n, err := port.RxBurst(q, bufs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				bufs[i].Free()
+			}
+			total += n
+		}
+	}
+	return total
+}
+
+func TestRunToPortLossless(t *testing.T) {
+	// The retry drive must deliver the exact generated stream on a
+	// default (Drop-policy) port when the queues have room.
+	g, err := New(Config{Seed: 7, World: world(t), FlowRate: 300, Duration: 2e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := nic.NewMempool(16384, 2048)
+	port, err := nic.NewPort(nic.PortConfig{Queues: 2, QueueDepth: 8192, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := g.RunToPort(port, false)
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	st := port.Stats()
+	if st.Ipackets != uint64(injected) || st.Imissed != 0 {
+		t.Fatalf("stats: %+v (injected %d)", st, injected)
+	}
+	if got := drainPort(t, port); got != injected {
+		t.Fatalf("drained %d, injected %d", got, injected)
+	}
+}
+
+func TestRunToPortBurstMatchesPerPacket(t *testing.T) {
+	// The burst drive must deliver the same stream as the per-packet
+	// drive: same packet count, same per-queue totals, zero loss on a
+	// Block-policy port.
+	mk := func() *Generator {
+		g, err := New(Config{Seed: 11, World: world(t), FlowRate: 300, Duration: 2e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	newPort := func(policy nic.OverflowPolicy) *nic.Port {
+		pool := nic.NewMempool(16384, 2048)
+		port, err := nic.NewPort(nic.PortConfig{
+			Queues: 2, QueueDepth: 8192, Pool: pool, Policy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return port
+	}
+
+	pp := newPort(nic.Drop)
+	ppInjected := mk().RunToPort(pp, false)
+
+	bp := newPort(nic.Block)
+	bpInjected := mk().RunToPortBurst(bp, 32)
+
+	if ppInjected != bpInjected {
+		t.Fatalf("per-packet injected %d, burst injected %d", ppInjected, bpInjected)
+	}
+	if st := bp.Stats(); st.Imissed != 0 || st.Ipackets != uint64(bpInjected) {
+		t.Fatalf("burst drive lost frames: %+v", st)
+	}
+	for q := 0; q < 2; q++ {
+		a, b := pp.QueueStats(q), bp.QueueStats(q)
+		if a.Ipackets != b.Ipackets || a.Ibytes != b.Ibytes {
+			t.Fatalf("queue %d diverged: per-packet %+v vs burst %+v", q, a, b)
+		}
+	}
+	if got := drainPort(t, bp); got != bpInjected {
+		t.Fatalf("drained %d, injected %d", got, bpInjected)
+	}
+}

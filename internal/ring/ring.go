@@ -1,12 +1,19 @@
-// Package ring provides a lock-free single-producer/single-consumer ring
-// buffer used as the hand-off between pipeline stages: NIC RX queues feed
-// per-core workers exactly the way DPDK rings feed lcores in the Ruru paper.
+// Package ring provides the lock-free ring buffers used as the hand-off
+// between pipeline stages: NIC RX queues feed per-core workers exactly the
+// way DPDK rings feed lcores in the Ruru paper.
 //
-// The ring is a power-of-two circular array with separate head and tail
-// indices. Producer and consumer each own one index and only read the other,
-// so a single atomic load/store pair per operation suffices. Indices live on
-// separate cache lines to avoid false sharing between the producer and
-// consumer cores.
+// Two implementations share the Buffer interface:
+//
+//   - Ring is single-producer/single-consumer (the rte_ring SP/SC fast
+//     path): one atomic load/store pair per operation, no CAS.
+//   - MPRing is multi-producer/multi-consumer (the rte_ring MP/MC mode):
+//     CAS-reserved slots with per-slot sequence numbers, safe for any
+//     number of concurrent producers and consumers.
+//
+// Both are power-of-two circular arrays with burst push/pop that amortize
+// synchronization over whole bursts, and both expose capacity, free-space
+// and high-watermark introspection so upper layers can implement
+// backpressure instead of discovering overflow after the fact.
 package ring
 
 import (
@@ -19,8 +26,37 @@ var ErrBadCapacity = errors.New("ring: capacity must be a power of two and > 0")
 
 type pad [56]byte // pads a uint64 to a full 64-byte cache line
 
+// Buffer is the queue contract shared by Ring (SPSC) and MPRing (MPMC).
+// The nic layer programs against this interface so a port can swap the
+// single-consumer fast path for the multi-consumer ring per configuration.
+type Buffer[T any] interface {
+	// Cap returns the fixed capacity.
+	Cap() int
+	// Len returns the instantaneous queued-item count (advisory under
+	// concurrency).
+	Len() int
+	// Free returns Cap()-Len(): the instantaneous admission headroom.
+	Free() int
+	// Watermark returns the highest queue depth observed by any push so
+	// far — the burst headroom actually consumed over the ring's life.
+	Watermark() int
+	// Push enqueues one item, reporting acceptance.
+	Push(v T) bool
+	// Pop dequeues one item, reporting whether one was available.
+	Pop() (T, bool)
+	// PushBurst enqueues as many items from vs as fit, returning the count.
+	PushBurst(vs []T) int
+	// PopBurst dequeues up to len(out) items into out, returning the count.
+	PopBurst(out []T) int
+}
+
 // Ring is a lock-free SPSC queue of values of type T.
 // The zero value is not usable; call New.
+//
+// Contract: exactly one goroutine may push and exactly one may pop. The
+// producer owns tail, the consumer owns head; each only loads the other's
+// index, so no CAS is needed. Violating the single-consumer side loses or
+// duplicates items — use MPRing when multiple workers drain one queue.
 type Ring[T any] struct {
 	buf  []T
 	mask uint64
@@ -29,6 +65,10 @@ type Ring[T any] struct {
 	_    pad
 	tail atomic.Uint64 // next slot to push (owned by producer)
 	_    pad
+	// maxLen is the highest depth observed at push time. Only the
+	// producer stores it (single-writer), monitors load it.
+	maxLen atomic.Uint64
+	_      pad
 }
 
 // New returns a ring with the given capacity, which must be a power of two.
@@ -60,15 +100,31 @@ func (r *Ring[T]) Len() int {
 	return int(r.tail.Load() - r.head.Load())
 }
 
+// Free returns the instantaneous admission headroom.
+func (r *Ring[T]) Free() int { return len(r.buf) - r.Len() }
+
+// Watermark returns the highest depth any push has observed.
+func (r *Ring[T]) Watermark() int { return int(r.maxLen.Load()) }
+
+// note records depth at push time; producer-only, so a plain store race
+// cannot occur and the value is monotonic.
+func (r *Ring[T]) note(depth uint64) {
+	if depth > r.maxLen.Load() {
+		r.maxLen.Store(depth)
+	}
+}
+
 // Push enqueues v. It returns false when the ring is full (the caller drops
 // or retries — the NIC layer counts this as an imissed, like a real NIC).
 func (r *Ring[T]) Push(v T) bool {
 	tail := r.tail.Load()
-	if tail-r.head.Load() >= uint64(len(r.buf)) {
+	depth := tail - r.head.Load()
+	if depth >= uint64(len(r.buf)) {
 		return false
 	}
 	r.buf[tail&r.mask] = v
 	r.tail.Store(tail + 1)
+	r.note(depth + 1)
 	return true
 }
 
@@ -90,7 +146,8 @@ func (r *Ring[T]) Pop() (T, bool) {
 // amortized over the whole burst.
 func (r *Ring[T]) PushBurst(vs []T) int {
 	tail := r.tail.Load()
-	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	used := tail - r.head.Load()
+	free := uint64(len(r.buf)) - used
 	n := uint64(len(vs))
 	if n > free {
 		n = free
@@ -99,6 +156,7 @@ func (r *Ring[T]) PushBurst(vs []T) int {
 		r.buf[(tail+i)&r.mask] = vs[i]
 	}
 	r.tail.Store(tail + n)
+	r.note(used + n)
 	return int(n)
 }
 

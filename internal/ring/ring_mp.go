@@ -1,0 +1,253 @@
+package ring
+
+import "sync/atomic"
+
+// MPRing is a lock-free multi-producer/multi-consumer bounded queue: the
+// rte_ring MP/MC analogue. Any number of goroutines may push and pop
+// concurrently; every item is delivered exactly once.
+//
+// The design is the classic bounded MPMC queue (Vyukov): each slot carries
+// a sequence number. A slot at absolute position pos is free for a producer
+// when seq == pos, holds a published item for a consumer when seq == pos+1,
+// and is returned to the next lap's producer by storing seq = pos+Cap after
+// the pop. Producers and consumers reserve runs of slots with a single CAS
+// on the shared tail/head index, so burst operations pay one CAS per burst
+// rather than one per item.
+//
+// The zero value is not usable; call NewMP.
+type MPRing[T any] struct {
+	buf  []mpSlot[T]
+	mask uint64
+
+	head   atomic.Uint64 // next slot to pop
+	_      pad
+	tail   atomic.Uint64 // next slot to push
+	_      pad
+	maxLen atomic.Uint64 // high watermark (CAS-updated; advisory)
+	_      pad
+}
+
+type mpSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewMP returns a multi-producer/multi-consumer ring with the given
+// capacity, which must be a power of two.
+func NewMP[T any](capacity int) (*MPRing[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, ErrBadCapacity
+	}
+	r := &MPRing[T]{
+		buf:  make([]mpSlot[T], capacity),
+		mask: uint64(capacity - 1),
+	}
+	for i := range r.buf {
+		r.buf[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// MustNewMP is NewMP that panics on error.
+func MustNewMP[T any](capacity int) *MPRing[T] {
+	r, err := NewMP[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *MPRing[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items (instantaneous, advisory).
+func (r *MPRing[T]) Len() int {
+	n := int(r.tail.Load()) - int(r.head.Load())
+	if n < 0 {
+		return 0
+	}
+	if n > len(r.buf) {
+		return len(r.buf)
+	}
+	return n
+}
+
+// Free returns the instantaneous admission headroom.
+func (r *MPRing[T]) Free() int { return len(r.buf) - r.Len() }
+
+// Watermark returns the highest depth any push has observed.
+func (r *MPRing[T]) Watermark() int { return int(r.maxLen.Load()) }
+
+// noteDepth records the depth implied by having published up to tail.
+// Concurrent consumers may already have drained past tail (head > tail),
+// and concurrent producers may race the head load; clamp to [0, Cap] so a
+// transient underflow can never wedge the watermark at a garbage value.
+func (r *MPRing[T]) noteDepth(tail uint64) {
+	head := r.head.Load()
+	if head >= tail {
+		return // consumers already caught up; nothing new to record
+	}
+	depth := tail - head
+	if depth > uint64(len(r.buf)) {
+		depth = uint64(len(r.buf))
+	}
+	for {
+		cur := r.maxLen.Load()
+		if depth <= cur || r.maxLen.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// Push enqueues v, reporting acceptance. A false return means the ring is
+// full (or a consumer is mid-pop on the wrapping slot — the same
+// backpressure signal).
+func (r *MPRing[T]) Push(v T) bool {
+	for {
+		tail := r.tail.Load()
+		s := &r.buf[tail&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == tail: // slot free for this lap
+			if r.tail.CompareAndSwap(tail, tail+1) {
+				s.val = v
+				s.seq.Store(tail + 1)
+				r.noteDepth(tail + 1)
+				return true
+			}
+		case seq < tail: // previous lap's item not yet consumed: full
+			return false
+		default: // another producer won this slot; reload tail
+		}
+	}
+}
+
+// Pop dequeues one item, reporting whether one was available.
+func (r *MPRing[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		head := r.head.Load()
+		s := &r.buf[head&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == head+1: // published item ready
+			if r.head.CompareAndSwap(head, head+1) {
+				v := s.val
+				s.val = zero // release references for GC
+				s.seq.Store(head + uint64(len(r.buf)))
+				return v, true
+			}
+		case seq < head+1: // producer not done (or empty)
+			return zero, false
+		default: // another consumer won this slot; reload head
+		}
+	}
+}
+
+// PushBurst enqueues as many items from vs as fit, returning the count.
+// A whole run of free slots is reserved with one CAS on tail; per-slot
+// sequence publication then makes each item visible to consumers in order.
+func (r *MPRing[T]) PushBurst(vs []T) int {
+	total := 0
+	for total < len(vs) {
+		n := r.pushSome(vs[total:])
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+func (r *MPRing[T]) pushSome(vs []T) int {
+	for {
+		tail := r.tail.Load()
+		// Count consecutive free slots starting at tail.
+		n := 0
+		for n < len(vs) {
+			pos := tail + uint64(n)
+			seq := r.buf[pos&r.mask].seq.Load()
+			if seq != pos {
+				if seq < pos && n == 0 && r.tail.Load() == tail {
+					return 0 // genuinely full at tail
+				}
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			// Lost a race to another producer; reload and retry.
+			if r.tail.Load() == tail {
+				return 0
+			}
+			continue
+		}
+		if !r.tail.CompareAndSwap(tail, tail+uint64(n)) {
+			continue
+		}
+		// The run [tail, tail+n) is ours: the successful CAS from the same
+		// tail we scanned from guarantees no other producer claimed it and
+		// the scanned slots can only have stayed free.
+		for i := 0; i < n; i++ {
+			pos := tail + uint64(i)
+			s := &r.buf[pos&r.mask]
+			s.val = vs[i]
+			s.seq.Store(pos + 1)
+		}
+		r.noteDepth(tail + uint64(n))
+		return n
+	}
+}
+
+// PopBurst dequeues up to len(out) items into out, returning the count.
+func (r *MPRing[T]) PopBurst(out []T) int {
+	total := 0
+	for total < len(out) {
+		n := r.popSome(out[total:])
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+func (r *MPRing[T]) popSome(out []T) int {
+	var zero T
+	for {
+		head := r.head.Load()
+		// Count consecutive published slots starting at head.
+		n := 0
+		for n < len(out) {
+			pos := head + uint64(n)
+			seq := r.buf[pos&r.mask].seq.Load()
+			if seq != pos+1 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			if r.head.Load() == head {
+				return 0 // genuinely empty (or producer mid-publish)
+			}
+			continue
+		}
+		if !r.head.CompareAndSwap(head, head+uint64(n)) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			pos := head + uint64(i)
+			s := &r.buf[pos&r.mask]
+			out[i] = s.val
+			s.val = zero
+			s.seq.Store(pos + uint64(len(r.buf)))
+		}
+		return n
+	}
+}
+
+// Interface conformance: both rings satisfy Buffer.
+var (
+	_ Buffer[int] = (*Ring[int])(nil)
+	_ Buffer[int] = (*MPRing[int])(nil)
+)

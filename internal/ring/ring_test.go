@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -202,6 +203,108 @@ func TestLenNeverExceedsCap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSPSCSingleConsumerContract pins the Ring's concurrency contract:
+// exactly one producer and one consumer, mixed single and burst operations,
+// strict FIFO with exactly-once delivery, and consistent introspection.
+// Draining one Ring from several goroutines is NOT part of the contract —
+// that loses or duplicates items by design; use MPRing (via
+// nic.PortConfig.MultiConsumer) when multiple workers must share a queue.
+func TestSPSCSingleConsumerContract(t *testing.T) {
+	r := MustNew[uint64](64)
+	const total = 1 << 16
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // the single producer
+		defer wg.Done()
+		buf := make([]uint64, 24)
+		next := uint64(0)
+		for next < total {
+			if next%3 == 0 { // mix single pushes in
+				if r.Push(next) {
+					next++
+				} else {
+					runtime.Gosched() // full: let the consumer run
+				}
+				continue
+			}
+			n := 0
+			for n < len(buf) && next+uint64(n) < total {
+				v := next + uint64(n)
+				if v%3 == 0 { // leave for the single-push branch
+					break
+				}
+				buf[n] = v
+				n++
+			}
+			pushed := r.PushBurst(buf[:n])
+			next += uint64(pushed)
+			if pushed == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() { // the single consumer
+		defer wg.Done()
+		out := make([]uint64, 17)
+		expect := uint64(0)
+		for expect < total {
+			if expect%5 == 0 {
+				if v, ok := r.Pop(); ok {
+					if v != expect {
+						t.Errorf("Pop out of order: got %d want %d", v, expect)
+						return
+					}
+					expect++
+				} else {
+					runtime.Gosched() // empty: let the producer run
+				}
+				continue
+			}
+			n := r.PopBurst(out)
+			for i := 0; i < n; i++ {
+				if out[i] != expect {
+					t.Errorf("PopBurst out of order: got %d want %d", out[i], expect)
+					return
+				}
+				expect++
+			}
+			if n == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty: %d", r.Len())
+	}
+	if wm := r.Watermark(); wm <= 0 || wm > r.Cap() {
+		t.Fatalf("watermark %d outside (0, %d]", wm, r.Cap())
+	}
+	if r.Free() != r.Cap() {
+		t.Fatalf("free = %d, want %d", r.Free(), r.Cap())
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	r := MustNew[int](8)
+	if r.Free() != 8 || r.Watermark() != 0 {
+		t.Fatalf("fresh ring: free=%d watermark=%d", r.Free(), r.Watermark())
+	}
+	r.PushBurst([]int{1, 2, 3, 4, 5})
+	if r.Free() != 3 || r.Watermark() != 5 {
+		t.Fatalf("after burst: free=%d watermark=%d", r.Free(), r.Watermark())
+	}
+	out := make([]int, 4)
+	r.PopBurst(out)
+	if r.Free() != 7 || r.Watermark() != 5 {
+		t.Fatalf("after pop: free=%d watermark=%d (watermark must not recede)", r.Free(), r.Watermark())
+	}
+	r.Push(6)
+	if r.Watermark() != 5 {
+		t.Fatalf("watermark rose without a new high: %d", r.Watermark())
 	}
 }
 

@@ -107,6 +107,15 @@ func (h *Hasher) HashTuple(src, dst netip.Addr, srcPort, dstPort uint16) uint32 
 
 // Queue maps a hash to one of n receive queues the way NIC indirection
 // tables do (modulo over the low bits).
+//
+// Note a structural limit of the symmetric 0x6d5a key: because the key
+// repeats with a 16-bit period, the Toeplitz hash is a linear function of
+// the 16-bit XOR-fold of the tuple bytes — 16 bits of effective entropy,
+// and adversarially structured tuples (e.g. srcPort and address
+// incrementing together) can fold to a single value, putting every flow on
+// one queue. No indirection mapping can spread identical hashes; sources
+// that must not lose packets under such skew should run the port's Block
+// overflow policy instead.
 func Queue(hash uint32, n int) int {
 	if n <= 1 {
 		return 0

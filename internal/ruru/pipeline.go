@@ -45,8 +45,23 @@ type Config struct {
 	BufSize int
 	// Burst is the RxBurst size (default 64).
 	Burst int
-	// PollSleep is the worker idle sleep (default 50µs).
+	// Poll tunes the measurement workers' adaptive idle ladder
+	// (spin → yield → decaying sleep; zero values get defaults).
+	Poll core.PollConfig
+	// PollSleep is the legacy fixed idle-sleep knob; when set it becomes
+	// Poll.SleepMax. Prefer Poll.
 	PollSleep time.Duration
+
+	// Overflow selects what injection does when an RX queue is full:
+	// nic.Drop (default, NIC-faithful: frame lost, counted Imissed) or
+	// nic.Block (lossless sources: injection waits for queue space).
+	Overflow nic.OverflowPolicy
+	// BlockTimeout bounds how long Block-policy injection waits (zero:
+	// indefinitely).
+	BlockTimeout time.Duration
+	// MultiConsumer switches RX queues to the multi-consumer-safe CAS
+	// rings so several workers may drain one queue.
+	MultiConsumer bool
 
 	// TableCapacity is the per-queue handshake table size (default 64k).
 	TableCapacity int
@@ -152,6 +167,8 @@ func New(cfg Config) (*Pipeline, error) {
 	var err error
 	p.Port, err = nic.NewPort(nic.PortConfig{
 		Queues: cfg.Queues, QueueDepth: cfg.QueueDepth, Pool: p.Pool,
+		Policy: cfg.Overflow, BlockTimeout: cfg.BlockTimeout,
+		MultiConsumer: cfg.MultiConsumer,
 	})
 	if err != nil {
 		return nil, err
@@ -174,6 +191,7 @@ func New(cfg Config) (*Pipeline, error) {
 			OnExpire: p.onExpire,
 		},
 		Burst:     cfg.Burst,
+		Poll:      cfg.Poll,
 		PollSleep: cfg.PollSleep,
 	}
 	if cfg.TrackTimestamps {
@@ -399,6 +417,7 @@ func (p *Pipeline) FlushDetectors() {
 // Stats is a full-pipeline counter snapshot.
 type Stats struct {
 	Port      nic.Stats
+	Queues    []nic.QueueStats // per-RX-queue counters and ring watermarks
 	Engine    core.TableStats
 	Enricher  analytics.Stats
 	BusPub    uint64
@@ -414,8 +433,13 @@ func (p *Pipeline) Stats() Stats {
 	pub, drop := p.Bus.Stats()
 	sent, hdrop := p.Hub.Stats()
 	written, _ := p.DB.WriteStats()
+	queues := make([]nic.QueueStats, p.Port.NumQueues())
+	for q := range queues {
+		queues[q] = p.Port.QueueStats(q)
+	}
 	return Stats{
 		Port:      p.Port.Stats(),
+		Queues:    queues,
 		Engine:    p.Engine.Stats(),
 		Enricher:  p.Enricher.Stats(),
 		BusPub:    pub,
