@@ -8,6 +8,7 @@ package ruru_bench
 import (
 	"io"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 
 	"ruru/internal/core"
@@ -206,6 +207,77 @@ func BenchmarkE7Toeplitz(b *testing.B) {
 			h.HashTuple(v6a, v6b, 40000, 443)
 		}
 	})
+}
+
+// BenchmarkConsume measures the sink stage's drain rate — enriched topic →
+// sharded workers → batched, stripe-locked TSDB writes — at 1 worker (the
+// old single-goroutine consumer topology) versus 4. The msg/s ratio between
+// the sub-benchmarks is the sharded-sink scaling claim; on a single-CPU box
+// the win comes from batching (one ring wakeup, one stripe lock and at most
+// one WS frame per burst), not parallelism, so record the measured ratio.
+func BenchmarkConsume(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			rows, err := experiments.E11(experiments.E11Config{
+				WorkerList: []int{workers}, Messages: max(b.N, 20000),
+			}, io.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rows[0].Drops != 0 {
+				b.Fatalf("sink dropped %d measurements", rows[0].Drops)
+			}
+			b.ReportMetric(rows[0].Rate, "msg/s")
+		})
+	}
+}
+
+// BenchmarkDBWriteBatch measures concurrent batched TSDB ingest with the
+// single global lock (stripes-1, the old layout) versus striped locking.
+// Each op writes one 64-point batch; every goroutine owns its own series so
+// stripe contention is the only variable. Retention keeps memory bounded at
+// any b.N.
+func BenchmarkDBWriteBatch(b *testing.B) {
+	const batchLen = 64
+	for _, stripes := range []int{1, 8} {
+		b.Run(benchName("stripes", stripes), func(b *testing.B) {
+			db := tsdb.Open(tsdb.Options{ShardDuration: 1e9, Retention: 2e9, Stripes: stripes})
+			var worker atomic.Int64
+			// One shared clock for all goroutines: with per-goroutine
+			// clocks, a writer descheduled behind the leader would fall
+			// past the retention horizon and its batches would take the
+			// cheap drop path instead of the series append being measured.
+			var clock atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				city := "City" + itoa(int(worker.Add(1)))
+				batch := make([]tsdb.Point, batchLen)
+				for pb.Next() {
+					// Reserve a window of batchLen ticks and fill it.
+					t := clock.Add(batchLen*1e6) - batchLen*1e6
+					for i := range batch {
+						t += 1e6
+						batch[i] = tsdb.Point{
+							Name: "latency",
+							Tags: []tsdb.Tag{
+								{Key: "src_city", Value: city},
+								{Key: "dst_city", Value: "Los Angeles"},
+							},
+							Fields: []tsdb.Field{
+								{Key: "internal_ms", Value: 15},
+								{Key: "external_ms", Value: 130},
+								{Key: "total_ms", Value: 145},
+							},
+							Time: t,
+						}
+					}
+					if _, err := db.WriteBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkE8TSDB measures point ingest (write path of every measurement).

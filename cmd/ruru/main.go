@@ -44,6 +44,9 @@ func main() {
 		overflow   = flag.String("overflow", "drop", "RX queue overflow policy: drop (NIC-faithful) or block (lossless source)")
 		blockMax   = flag.Duration("block-timeout", 0, "deadline for block-policy injection (0: wait indefinitely)")
 		multi      = flag.Bool("multi-consumer", false, "multi-consumer RX rings (several workers may share a queue)")
+		sinkWk     = flag.Int("sink-workers", 4, "sharded sink workers (measurements partitioned by city pair)")
+		sinkBatch  = flag.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
+		dbStripes  = flag.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,9 @@ func main() {
 		BlockTimeout:    *blockMax,
 		MultiConsumer:   *multi,
 		TrackTimestamps: *timestamps,
+		SinkWorkers:     *sinkWk,
+		SinkBatch:       *sinkBatch,
+		DBStripes:       *dbStripes,
 	})
 	if err != nil {
 		log.Fatalf("assembling pipeline: %v", err)

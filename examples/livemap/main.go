@@ -76,15 +76,19 @@ func main() {
 		if err != nil {
 			break
 		}
-		var e analytics.Enriched
-		if json.Unmarshal(msg, &e) != nil {
+		// Each frame is a JSON array: the sink coalesces a burst of
+		// measurements per broadcast.
+		var batch []analytics.Enriched
+		if json.Unmarshal(msg, &batch) != nil {
 			continue
 		}
-		collected = append(collected, arcs.Arc{
-			From:      arcs.Point{Lat: e.Src.Lat, Lon: e.Src.Lon},
-			To:        arcs.Point{Lat: e.Dst.Lat, Lon: e.Dst.Lon},
-			LatencyNs: e.TotalNs,
-		})
+		for _, e := range batch {
+			collected = append(collected, arcs.Arc{
+				From:      arcs.Point{Lat: e.Src.Lat, Lon: e.Src.Lon},
+				To:        arcs.Point{Lat: e.Dst.Lat, Lon: e.Dst.Lon},
+				LatencyNs: e.TotalNs,
+			})
+		}
 	}
 
 	r := arcs.NewRenderer(140, 40)

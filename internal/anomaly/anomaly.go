@@ -7,6 +7,21 @@
 // It also implements the strawman the paper compares against: an SNMP-style
 // poller that only sees five-minute aggregates, which experiment E4 uses to
 // show why the firewall glitch was invisible to conventional monitoring.
+//
+// # Concurrency contract
+//
+// The pipeline's sharded sink offers measurements from several workers at
+// once, so each type states its contract explicitly:
+//
+//   - SpikeBank.Offer and SurgeDetector.Observe/Events are safe for
+//     concurrent use (internal locks). Detection state is per key, so
+//     results are deterministic as long as each KEY's samples arrive in
+//     order — which the sink guarantees by hashing every src→dst pair to a
+//     single worker. Offers for different keys may interleave freely.
+//   - SpikeDetector and FloodDetector are single-goroutine types: callers
+//     serialize access (the pipeline guards its FloodDetector with a
+//     mutex; SpikeDetector is always used through a SpikeBank).
+//   - SNMPPoller is single-goroutine; the pipeline serializes Offer/Flush.
 package anomaly
 
 import (
@@ -118,7 +133,9 @@ func NewSpikeBank(cfg SpikeConfig, maxKeys int) *SpikeBank {
 	return &SpikeBank{cfg: cfg, byKey: make(map[string]*SpikeDetector), maxKeys: maxKeys}
 }
 
-// Offer routes the sample to its key's detector. Safe for concurrent use.
+// Offer routes the sample to its key's detector. Safe for concurrent use;
+// per-key determinism requires each key's samples to arrive in order (one
+// offering goroutine per key, as the sharded sink guarantees).
 func (b *SpikeBank) Offer(key string, ts, latencyNs int64) *Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -158,6 +175,10 @@ type FloodConfig struct {
 // its resolution (completed or expired-unanswered). A surge in the
 // unanswered rate relative to its EWMA baseline raises an event — the
 // paper's "SYN floods can also be identified in real-time".
+//
+// Not safe for concurrent use: callers serialize Observe*/Flush/Events
+// (the pipeline guards its instance with a mutex; expiries are rare
+// relative to packets, so the lock is uncontended).
 type FloodDetector struct {
 	cfg FloodConfig
 

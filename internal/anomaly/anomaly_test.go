@@ -1,7 +1,9 @@
 package anomaly
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -287,5 +289,77 @@ func BenchmarkSpikeBankOffer(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bank.Offer(keys[i%4], int64(i), int64(150e6+i%1000))
+	}
+}
+
+func TestConcurrentOfferContract(t *testing.T) {
+	// The contract the sharded sink relies on (run under -race in CI):
+	// SpikeBank.Offer and SurgeDetector.Observe from several goroutines —
+	// each goroutine owning its keys, as worker affinity guarantees —
+	// while Keys/Events readers run concurrently. A FloodDetector behind
+	// an external mutex (the pipeline's arrangement) joins in.
+	const workers, perWorker = 4, 5000
+	bank := NewSpikeBank(SpikeConfig{MinSamples: 64}, 0)
+	surge := NewSurgeDetector(SurgeConfig{BucketNs: 1e9, MinCount: 10, WarmupBuckets: 1})
+	flood := NewFloodDetector(FloodConfig{BucketNs: 1e9, MinCount: 10, WarmupBuckets: 1})
+	var floodMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			key := fmt.Sprintf("City%d→City%d", w, w+1)
+			for i := 0; i < perWorker; i++ {
+				// 100 conns/s baseline for 40s, then the final 1000
+				// offers crammed into a tenth of a second: a real surge
+				// every key's detector must flag.
+				ts := int64(i) * 1e7
+				if i >= 4000 {
+					ts = 40e9 + int64(i-4000)*1e5
+				}
+				bank.Offer(key, ts, int64(150e6+rng.NormFloat64()*10e6))
+				surge.Observe(key, ts)
+				floodMu.Lock()
+				flood.ObserveUnanswered(ts)
+				floodMu.Unlock()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				bank.Keys()
+				surge.Events()
+				floodMu.Lock()
+				flood.Events()
+				floodMu.Unlock()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if bank.Keys() != workers {
+		t.Fatalf("keys = %d, want %d", bank.Keys(), workers)
+	}
+	surge.Flush()
+	// Every key ramped from 100/bucket to 1000/bucket, so every key's
+	// detector must have fired exactly one surge episode.
+	keysFired := map[string]bool{}
+	for _, ev := range surge.Events() {
+		keysFired[ev.Detail] = true
+	}
+	if len(keysFired) != workers {
+		t.Fatalf("surge events for %d/%d keys: %+v", len(keysFired), workers, surge.Events())
 	}
 }

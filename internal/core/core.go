@@ -229,6 +229,25 @@ func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Me
 
 	tcp := &s.TCP
 	switch {
+	case tcp.RST():
+		// RST must be checked before the SYN branches: a SYN|RST packet
+		// also satisfies IsSYN (SYN set, ACK clear) and used to insert or
+		// restart a tracked flow, leaving the abort path unreachable and
+		// the table corrupted by flows that can never complete.
+		// Abort either orientation.
+		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
+		if idx, found := t.find(rssHash, key); found {
+			t.remove(idx)
+			t.stats.Aborted++
+			return false
+		}
+		rkey := FlowKey{Client: s.Dst(), Server: s.Src(), ClientPort: tcp.DstPort, ServerPort: tcp.SrcPort}
+		if idx, found := t.find(rssHash, rkey); found {
+			t.remove(idx)
+			t.stats.Aborted++
+		}
+		return false
+
 	case tcp.IsSYN():
 		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
 		idx, found := t.find(rssHash, key)
@@ -289,7 +308,9 @@ func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Me
 		}
 		return false
 
-	case tcp.ACK() && !tcp.RST() && !tcp.SYN():
+	// Plain ACK: RST packets were handled first, and any SYN packet
+	// matched IsSYN or IsSYNACK above.
+	case tcp.ACK():
 		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
 		idx, found := t.find(rssHash, key)
 		if !found {
@@ -322,21 +343,6 @@ func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Me
 		t.remove(idx)
 		t.stats.Completed++
 		return true
-
-	case tcp.RST():
-		// Abort either orientation.
-		key := FlowKey{Client: s.Src(), Server: s.Dst(), ClientPort: tcp.SrcPort, ServerPort: tcp.DstPort}
-		if idx, found := t.find(rssHash, key); found {
-			t.remove(idx)
-			t.stats.Aborted++
-			return false
-		}
-		rkey := FlowKey{Client: s.Dst(), Server: s.Src(), ClientPort: tcp.DstPort, ServerPort: tcp.SrcPort}
-		if idx, found := t.find(rssHash, rkey); found {
-			t.remove(idx)
-			t.stats.Aborted++
-		}
-		return false
 	}
 	return false
 }

@@ -212,6 +212,65 @@ func TestRSTAbortsEitherDirection(t *testing.T) {
 	}
 }
 
+func TestSYNRSTNeverInsertsOrRestarts(t *testing.T) {
+	// Regression: IsSYN only checks SYN-set/ACK-clear, so a SYN|RST packet
+	// used to hit the insert branch (RST was checked last) and corrupt the
+	// table with a flow that can never complete.
+	tbl := NewHandshakeTable(TableConfig{Capacity: 64})
+	var m Measurement
+	synrst, h := mkSummary("10.0.0.1", "192.0.2.1", 40000, 443, pkt.TCPSyn|pkt.TCPRst, 100, 0)
+	if tbl.Process(synrst, 1000, h, &m) {
+		t.Fatal("SYN|RST completed a handshake")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("SYN|RST inserted a flow (live=%d)", tbl.Len())
+	}
+	if st := tbl.Stats(); st.SYNs != 0 {
+		t.Fatalf("SYN|RST counted as SYN: %+v", st)
+	}
+
+	// Against a live flow, SYN|RST (with a new ISN — the old code's
+	// "new incarnation" restart path) must abort, not restart tracking.
+	syn, h := mkSummary("10.0.0.1", "192.0.2.1", 40000, 443, pkt.TCPSyn, 200, 0)
+	tbl.Process(syn, 2000, h, &m)
+	if tbl.Len() != 1 {
+		t.Fatalf("live = %d after SYN", tbl.Len())
+	}
+	if tbl.Process(synrst, 3000, h, &m) {
+		t.Fatal("SYN|RST completed a handshake")
+	}
+	if tbl.Len() != 0 || tbl.Stats().Aborted != 1 {
+		t.Fatalf("SYN|RST did not abort: live=%d stats=%+v", tbl.Len(), tbl.Stats())
+	}
+}
+
+func TestRSTACKAbortsPendingFlow(t *testing.T) {
+	// RST|ACK — the common refusal a server sends to a SYN — must take the
+	// abort path in either orientation, never the ACK-matching path.
+	for _, fromClient := range []bool{true, false} {
+		tbl := NewHandshakeTable(TableConfig{Capacity: 64})
+		var m Measurement
+		syn, h := mkSummary("10.0.0.1", "192.0.2.1", 40000, 443, pkt.TCPSyn, 100, 0)
+		tbl.Process(syn, 1000, h, &m)
+		var rstack *pkt.Summary
+		if fromClient {
+			rstack, _ = mkSummary("10.0.0.1", "192.0.2.1", 40000, 443, pkt.TCPRst|pkt.TCPAck, 101, 0)
+		} else {
+			rstack, _ = mkSummary("192.0.2.1", "10.0.0.1", 443, 40000, pkt.TCPRst|pkt.TCPAck, 0, 101)
+		}
+		if tbl.Process(rstack, 2000, h, &m) {
+			t.Fatal("RST|ACK completed a handshake")
+		}
+		st := tbl.Stats()
+		if tbl.Len() != 0 || st.Aborted != 1 {
+			t.Fatalf("fromClient=%v: len=%d stats=%+v", fromClient, tbl.Len(), st)
+		}
+		if st.InvalidACKs != 0 || st.MidstreamACKs != 0 {
+			t.Fatalf("fromClient=%v: RST|ACK hit the ACK path: %+v", fromClient, st)
+		}
+	}
+}
+
 func TestExpiryFeedsSYNFloodSignal(t *testing.T) {
 	tbl := NewHandshakeTable(TableConfig{Capacity: 1024, Timeout: 1000})
 	var m Measurement

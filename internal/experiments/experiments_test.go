@@ -262,3 +262,26 @@ func TestE9HopOverheadOrdering(t *testing.T) {
 		t.Fatalf("filter hop blew up: %.0f vs %.0f ns/msg", twoHop.NsPerMsg, oneHop.NsPerMsg)
 	}
 }
+
+func TestE11SinkSweep(t *testing.T) {
+	rows, err := E11(E11Config{WorkerList: []int{1, 4}, Messages: 20000}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The flow-controlled producer must make the run lossless, and
+		// the ledger must balance: everything published is stored.
+		if r.Drops != 0 || r.DecodeErr != 0 {
+			t.Fatalf("workers=%d lost measurements: %+v", r.Workers, r)
+		}
+		if r.Stored != uint64(r.Messages) {
+			t.Fatalf("workers=%d stored %d/%d", r.Workers, r.Stored, r.Messages)
+		}
+		if r.Rate <= 0 {
+			t.Fatalf("workers=%d rate = %v", r.Workers, r.Rate)
+		}
+	}
+}

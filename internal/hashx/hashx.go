@@ -1,0 +1,15 @@
+// Package hashx holds tiny allocation-free hash helpers shared by the hot
+// paths (stdlib hash/fnv works through a heap-allocated hash.Hash32, which
+// the per-measurement paths cannot afford).
+package hashx
+
+// FNV1a32 is the 32-bit FNV-1a hash of s. Used to partition series across
+// TSDB lock stripes and measurements across sink workers.
+func FNV1a32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

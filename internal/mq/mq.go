@@ -18,6 +18,7 @@
 package mq
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -284,8 +285,31 @@ func (p *TCPPublisher) serve(conn net.Conn) {
 			}
 		}
 	}()
+	// Frames go through a buffered writer flushed only when the
+	// subscription queue is momentarily empty: a draining burst costs one
+	// syscall per buffer-full instead of the three unbuffered conn.Writes
+	// per frame (header, topic, payload) the old loop issued, while the
+	// flush-on-idle keeps per-frame latency when traffic is sparse.
+	bw := bufio.NewWriterSize(conn, 64<<10)
 	for msg := range sub.C() {
-		if err := writeFrame(conn, msg); err != nil {
+		if err := writeFrame(bw, msg); err != nil {
+			return
+		}
+		for drained := false; !drained; {
+			select {
+			case next, ok := <-sub.C():
+				if !ok {
+					bw.Flush()
+					return
+				}
+				if err := writeFrame(bw, next); err != nil {
+					return
+				}
+			default:
+				drained = true
+			}
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}

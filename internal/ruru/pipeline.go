@@ -13,9 +13,7 @@ package ruru
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,9 +69,23 @@ type Config struct {
 	// EnrichWorkers is the analytics pool size (default 4).
 	EnrichWorkers int
 
+	// SinkWorkers is the number of sharded sink workers draining the
+	// enriched stream (default 4). Measurements are partitioned by a hash
+	// of the src_city→dst_city pair, so every anomaly-detector key and
+	// every TSDB latency series keeps single-worker affinity.
+	SinkWorkers int
+	// SinkBatch is the maximum measurements one sink worker drains per
+	// wakeup — one TSDB batch write and at most one coalesced WebSocket
+	// frame per batch (default 64).
+	SinkBatch int
+
 	// TSDB options.
 	ShardDuration int64
 	Retention     int64
+	// DBStripes is the TSDB lock-stripe count: concurrent sink workers
+	// contend only within a stripe (default 8; 1 restores a single global
+	// write lock).
+	DBStripes int
 
 	// HubQueue is the per-WebSocket-client queue depth (default 256).
 	HubQueue int
@@ -123,16 +135,25 @@ type Pipeline struct {
 	floodMu sync.Mutex
 	snmpMu  sync.Mutex
 
-	arcsMu  sync.Mutex
-	arcsBuf []analytics.Enriched
-	arcsPos int
-
 	spikeEventsMu sync.Mutex
 	spikeEvents   []anomaly.Event
 
 	tsSamples atomic.Uint64
 
-	sinkSub *mq.Subscription
+	sinkSub          *mq.Subscription
+	sinkShards       []*sinkShard
+	sinkDecodeErrors atomic.Uint64
+	sinkWriteErrors  atomic.Uint64
+}
+
+// sinkShard is the state owned by one sink worker: its routing channel and
+// its arc ring (per-shard so workers never contend; merged by RecentArcs).
+type sinkShard struct {
+	ch chan sinkItem
+
+	mu      sync.Mutex
+	arcsBuf []analytics.Enriched
+	arcsPos int
 }
 
 // New assembles a pipeline.
@@ -157,6 +178,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.EnrichWorkers <= 0 {
 		cfg.EnrichWorkers = 4
+	}
+	if cfg.SinkWorkers <= 0 {
+		cfg.SinkWorkers = 4
+	}
+	if cfg.SinkBatch <= 0 {
+		cfg.SinkBatch = 64
 	}
 	if cfg.ArcsBuffer <= 0 {
 		cfg.ArcsBuffer = 4096
@@ -213,9 +240,16 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p.DB = tsdb.Open(tsdb.Options{
 		ShardDuration: cfg.ShardDuration, Retention: cfg.Retention,
+		Stripes: cfg.DBStripes,
 	})
 	p.Hub = ws.NewHub(cfg.HubQueue)
-	p.arcsBuf = make([]analytics.Enriched, 0, cfg.ArcsBuffer)
+	p.sinkShards = make([]*sinkShard, cfg.SinkWorkers)
+	for i := range p.sinkShards {
+		p.sinkShards[i] = &sinkShard{
+			ch:      make(chan sinkItem, sinkShardDepth),
+			arcsBuf: make([]analytics.Enriched, 0, cfg.ArcsBuffer),
+		}
+	}
 
 	p.sinkSub, err = p.Bus.Subscribe(TopicEnriched, 1<<15)
 	if err != nil {
@@ -264,7 +298,7 @@ func (p *Pipeline) onTSSample(s *core.TSSample) {
 // Run operates the pipeline until ctx is cancelled. It returns ctx.Err().
 func (p *Pipeline) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
-	wg.Add(3)
+	wg.Add(3 + len(p.sinkShards))
 	go func() {
 		defer wg.Done()
 		p.Engine.Run(ctx)
@@ -275,111 +309,16 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	}()
 	go func() {
 		defer wg.Done()
-		p.runSink(ctx)
+		p.runSinkDispatcher(ctx)
 	}()
+	for _, sh := range p.sinkShards {
+		go func(sh *sinkShard) {
+			defer wg.Done()
+			p.runSinkWorker(ctx, sh)
+		}(sh)
+	}
 	wg.Wait()
 	return ctx.Err()
-}
-
-// runSink consumes enriched measurements and feeds every output: TSDB,
-// WebSocket hub, anomaly detectors, SNMP strawman and the arc buffer.
-func (p *Pipeline) runSink(ctx context.Context) {
-	var e analytics.Enriched
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case msg, ok := <-p.sinkSub.C():
-			if !ok {
-				return
-			}
-			if err := analytics.UnmarshalEnriched(msg.Payload, &e); err != nil {
-				continue
-			}
-			p.consume(&e)
-		}
-	}
-}
-
-// consume dispatches one enriched measurement to all sinks. Exposed via
-// Feed for harnesses that bypass the packet path.
-func (p *Pipeline) consume(e *analytics.Enriched) {
-	// 1. Time-series storage (ms floats, as the Grafana panels expect).
-	pt := tsdb.Point{
-		Name: "latency",
-		Tags: []tsdb.Tag{
-			{Key: "src_city", Value: e.Src.City},
-			{Key: "src_cc", Value: e.Src.CountryCode},
-			{Key: "src_asn", Value: fmt.Sprint(e.Src.ASN)},
-			{Key: "dst_city", Value: e.Dst.City},
-			{Key: "dst_cc", Value: e.Dst.CountryCode},
-			{Key: "dst_asn", Value: fmt.Sprint(e.Dst.ASN)},
-		},
-		Fields: []tsdb.Field{
-			{Key: "internal_ms", Value: float64(e.InternalNs) / 1e6},
-			{Key: "external_ms", Value: float64(e.ExternalNs) / 1e6},
-			{Key: "total_ms", Value: float64(e.TotalNs) / 1e6},
-		},
-		Time: e.Time,
-	}
-	p.DB.Write(&pt)
-
-	// 2. Live map broadcast (JSON text frames).
-	if data, err := json.Marshal(e); err == nil {
-		p.Hub.Broadcast(data)
-	}
-
-	// 3. Anomaly detectors.
-	pair := e.Src.City + "→" + e.Dst.City
-	if ev := p.Spikes.Offer(pair, e.Time, e.TotalNs); ev != nil {
-		p.spikeEventsMu.Lock()
-		p.spikeEvents = append(p.spikeEvents, *ev)
-		p.spikeEventsMu.Unlock()
-	}
-	p.Surge.Observe(pair, e.Time)
-
-	// 4. Conventional-monitoring baseline.
-	if p.SNMP != nil {
-		p.snmpMu.Lock()
-		p.SNMP.Offer(e.Time, e.TotalNs)
-		p.snmpMu.Unlock()
-	}
-
-	// 5. Arc feed ring buffer.
-	p.arcsMu.Lock()
-	if len(p.arcsBuf) < cap(p.arcsBuf) {
-		p.arcsBuf = append(p.arcsBuf, *e)
-	} else {
-		p.arcsBuf[p.arcsPos] = *e
-		p.arcsPos = (p.arcsPos + 1) % cap(p.arcsBuf)
-	}
-	p.arcsMu.Unlock()
-}
-
-// Feed injects an enriched measurement directly into the sink stage,
-// bypassing packet processing — used by harnesses and the quickstart
-// example to exercise storage/visualization in isolation.
-func (p *Pipeline) Feed(e *analytics.Enriched) { p.consume(e) }
-
-// RecentArcs returns up to n of the most recent enriched measurements for
-// the live map.
-func (p *Pipeline) RecentArcs(n int) []analytics.Enriched {
-	p.arcsMu.Lock()
-	defer p.arcsMu.Unlock()
-	total := len(p.arcsBuf)
-	if n <= 0 || n > total {
-		n = total
-	}
-	out := make([]analytics.Enriched, 0, n)
-	// Ring order: oldest at arcsPos when full.
-	start := 0
-	if len(p.arcsBuf) == cap(p.arcsBuf) {
-		start = p.arcsPos
-	}
-	for i := total - n; i < total; i++ {
-		out = append(out, p.arcsBuf[(start+i)%total])
-	}
-	return out
 }
 
 // SpikeEvents returns latency-spike detections so far.
@@ -414,40 +353,66 @@ func (p *Pipeline) FlushDetectors() {
 	}
 }
 
-// Stats is a full-pipeline counter snapshot.
+// Stats is a full-pipeline counter snapshot. Together the sink counters
+// account for every enriched measurement: while the pipeline runs, each one
+// published on the bus is either stored (DBPoints), lost at the sink
+// subscription's high-water mark (SinkDrop), malformed (SinkDecodeErrors),
+// or behind the retention horizon at write time (DBDropped) — no steady-
+// state loss class is silent. The ledger balances once the sink has drained;
+// cancelling Run abandons whatever is still queued inside the sink stage
+// uncounted (shutdown, like any crash, loses in-flight work).
 type Stats struct {
-	Port      nic.Stats
-	Queues    []nic.QueueStats // per-RX-queue counters and ring watermarks
-	Engine    core.TableStats
-	Enricher  analytics.Stats
-	BusPub    uint64
-	BusDrop   uint64
-	HubSent   uint64
-	HubDrop   uint64
-	DBPoints  uint64
-	TSSamples uint64 // continuous RTT samples (when TrackTimestamps)
+	Port     nic.Stats
+	Queues   []nic.QueueStats // per-RX-queue counters and ring watermarks
+	Engine   core.TableStats
+	Enricher analytics.Stats
+	BusPub   uint64
+	BusDrop  uint64
+	HubSent  uint64
+	HubDrop  uint64
+	DBPoints uint64
+	// DBDropped counts points the TSDB refused at write time because they
+	// were older than the retention horizon (previously discarded from
+	// the snapshot entirely).
+	DBDropped uint64
+	// SinkDecodeErrors counts enriched bus messages the sink could not
+	// decode (previously swallowed by a bare continue).
+	SinkDecodeErrors uint64
+	// SinkDrop counts enriched messages lost at the sink subscription's
+	// high-water mark — the collector-can't-keep-up signal (previously
+	// never surfaced).
+	SinkDrop uint64
+	// DBWriteErrors counts measurements whose TSDB write failed (only a
+	// Close racing a sink worker can cause this; counted so even the
+	// shutdown race is not silent).
+	DBWriteErrors uint64
+	TSSamples     uint64 // continuous RTT samples (when TrackTimestamps)
 }
 
 // Stats snapshots every stage.
 func (p *Pipeline) Stats() Stats {
 	pub, drop := p.Bus.Stats()
 	sent, hdrop := p.Hub.Stats()
-	written, _ := p.DB.WriteStats()
+	written, dbDropped := p.DB.WriteStats()
 	queues := make([]nic.QueueStats, p.Port.NumQueues())
 	for q := range queues {
 		queues[q] = p.Port.QueueStats(q)
 	}
 	return Stats{
-		Port:      p.Port.Stats(),
-		Queues:    queues,
-		Engine:    p.Engine.Stats(),
-		Enricher:  p.Enricher.Stats(),
-		BusPub:    pub,
-		BusDrop:   drop,
-		HubSent:   sent,
-		HubDrop:   hdrop,
-		DBPoints:  written,
-		TSSamples: p.tsSamples.Load(),
+		Port:             p.Port.Stats(),
+		Queues:           queues,
+		Engine:           p.Engine.Stats(),
+		Enricher:         p.Enricher.Stats(),
+		BusPub:           pub,
+		BusDrop:          drop,
+		HubSent:          sent,
+		HubDrop:          hdrop,
+		DBPoints:         written,
+		DBDropped:        dbDropped,
+		SinkDecodeErrors: p.sinkDecodeErrors.Load(),
+		SinkDrop:         p.sinkSub.Dropped(),
+		DBWriteErrors:    p.sinkWriteErrors.Load(),
+		TSSamples:        p.tsSamples.Load(),
 	}
 }
 

@@ -185,6 +185,15 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if st.Port.Imissed != 0 || st.Port.NoMbuf != 0 {
 		t.Fatalf("packet loss in un-paced test: %+v", st.Port)
 	}
+	// Loss accounting: every completed measurement must be stored or show
+	// up in a named drop/error counter — nothing silent.
+	if st.Engine.Completed != st.DBPoints+st.SinkDrop+st.SinkDecodeErrors+st.DBDropped {
+		t.Fatalf("measurement ledger does not balance: completed=%d db=%d sinkDrop=%d decodeErr=%d dbDropped=%d",
+			st.Engine.Completed, st.DBPoints, st.SinkDrop, st.SinkDecodeErrors, st.DBDropped)
+	}
+	if st.SinkDrop != 0 || st.SinkDecodeErrors != 0 || st.DBDropped != 0 {
+		t.Fatalf("unexpected sink losses: %+v", st)
+	}
 
 	// TSDB must answer a Grafana-style query over the virtual window.
 	res, err := p.DB.Execute(tsdb.Query{
@@ -436,21 +445,30 @@ func TestPipelineWebSocketLiveFeedFromPackets(t *testing.T) {
 	}
 	go g.RunToPort(p.Port, false)
 
+	// Frames are JSON arrays: each sink worker coalesces up to SinkBatch
+	// measurements per broadcast.
 	client.SetReadDeadline(time.Now().Add(10 * time.Second))
-	var e analytics.Enriched
-	for i := 0; i < 20; i++ {
+	received := 0
+	for received < 20 {
 		op, msg, err := client.ReadMessage()
 		if err != nil {
-			t.Fatalf("message %d: %v", i, err)
+			t.Fatalf("after %d measurements: %v", received, err)
 		}
 		if op != ws.OpText {
 			t.Fatalf("opcode %v", op)
 		}
-		if err := json.Unmarshal(msg, &e); err != nil {
+		var batch []analytics.Enriched
+		if err := json.Unmarshal(msg, &batch); err != nil {
 			t.Fatalf("bad JSON: %v", err)
 		}
-		if e.TotalNs <= 0 || e.Src.City == "" {
-			t.Fatalf("incomplete measurement: %+v", e)
+		if len(batch) == 0 {
+			t.Fatal("empty broadcast frame")
+		}
+		for _, e := range batch {
+			if e.TotalNs <= 0 || e.Src.City == "" {
+				t.Fatalf("incomplete measurement: %+v", e)
+			}
+			received++
 		}
 	}
 }

@@ -1,0 +1,272 @@
+package ruru
+
+// The sharded sink stage: everything downstream of the enricher.
+//
+// PR 1 made the ingest side (ring → nic → core) batched and lossless, but
+// the storage/visualization side still funnelled every enriched measurement
+// through a single goroutine into a TSDB guarded by one global mutex — the
+// "collector can't keep up" failure mode that silently invalidates a
+// measurement system's output. This file replaces that consumer with a pool
+// of sink workers:
+//
+//	sinkSub ──► dispatcher ──► shard 0 worker ──► { WriteBatch, detectors,
+//	           (decode+hash)   shard 1 worker       arc ring, WS frame }
+//	                           ...
+//
+// Measurements are partitioned by a hash of the src_city→dst_city pair, so
+// each anomaly-detector key and each TSDB latency series keeps single-worker
+// affinity: per-key processing order is preserved and per-key state never
+// crosses workers. Workers drain their shard channel in bursts of up to
+// SinkBatch, write the TSDB points with one batched, stripe-locked call, and
+// coalesce the burst into one WebSocket frame — skipping JSON marshalling
+// entirely when no client is connected.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ruru/internal/analytics"
+	"ruru/internal/hashx"
+	"ruru/internal/mq"
+	"ruru/internal/tsdb"
+)
+
+// sinkItem is one decoded enriched measurement routed to a sink worker,
+// with the detector key precomputed by the dispatcher.
+type sinkItem struct {
+	e    analytics.Enriched
+	pair string
+}
+
+// sinkShardDepth is the per-worker channel capacity. Together with the
+// subscription HWM it bounds in-flight measurements; a stalled worker
+// backpressures the dispatcher, which surfaces as SinkDrop at the HWM.
+const sinkShardDepth = 4096
+
+// pairKey is the detector/shard-routing key of a measurement. The format
+// is load-bearing: it decides both worker affinity and anomaly-detector
+// state keys, so every ingress path must build it through this helper.
+func pairKey(e *analytics.Enriched) string {
+	return e.Src.City + "→" + e.Dst.City
+}
+
+// shardFor routes a detector key to its sink shard.
+func (p *Pipeline) shardFor(pair string) *sinkShard {
+	return p.sinkShards[hashx.FNV1a32(pair)%uint32(len(p.sinkShards))]
+}
+
+// runSinkDispatcher drains the enriched subscription, decodes each message
+// and hands it to its shard's worker. Decode failures are counted in
+// Stats().SinkDecodeErrors (they used to be silently discarded);
+// subscription HWM overflow is visible as Stats().SinkDrop.
+func (p *Pipeline) runSinkDispatcher(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, ok := <-p.sinkSub.C():
+			if !ok {
+				return
+			}
+			p.routeSink(ctx, msg)
+		}
+	}
+}
+
+func (p *Pipeline) routeSink(ctx context.Context, msg mq.Message) {
+	var it sinkItem
+	if err := analytics.UnmarshalEnriched(msg.Payload, &it.e); err != nil {
+		p.sinkDecodeErrors.Add(1)
+		return
+	}
+	it.pair = pairKey(&it.e)
+	sh := p.shardFor(it.pair)
+	select {
+	case sh.ch <- it:
+	case <-ctx.Done():
+	}
+}
+
+// runSinkWorker owns one shard: it drains the shard channel in bursts of up
+// to SinkBatch and dispatches each burst to every output.
+func (p *Pipeline) runSinkWorker(ctx context.Context, sh *sinkShard) {
+	batch := make([]sinkItem, 0, p.cfg.SinkBatch)
+	points := make([]tsdb.Point, 0, p.cfg.SinkBatch)
+	// Shard channels are never closed: the worker's only exit is ctx
+	// cancellation, which abandons whatever is still queued (see the
+	// Stats ledger doc).
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case it := <-sh.ch:
+			batch = append(batch[:0], it)
+		fill:
+			for len(batch) < cap(batch) {
+				select {
+				case it := <-sh.ch:
+					batch = append(batch, it)
+				default:
+					break fill
+				}
+			}
+			points = p.consumeBatch(sh, batch, points[:0])
+		}
+	}
+}
+
+// consumeBatch dispatches one burst to all sinks: a single striped-lock
+// TSDB batch write, one coalesced WebSocket frame (only marshalled when a
+// client is connected), the anomaly detectors in arrival order, and the
+// shard's arc ring. Returns the reused points slice.
+func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem, points []tsdb.Point) []tsdb.Point {
+	for i := range batch {
+		points = append(points, latencyPoint(&batch[i].e))
+	}
+	if applied, err := p.DB.WriteBatch(points); err != nil {
+		// Only a Close racing this worker can fail here (points always
+		// carry fields); count exactly the unapplied remainder — points in
+		// stripes written before the failure are already in DBPoints — so
+		// the ledger stays honest.
+		p.sinkWriteErrors.Add(uint64(len(points) - applied))
+	}
+
+	if p.Hub.Clients() > 0 {
+		frame := make([]analytics.Enriched, len(batch))
+		for i := range batch {
+			frame[i] = batch[i].e
+		}
+		if data, err := json.Marshal(frame); err == nil {
+			p.Hub.Broadcast(data)
+		}
+	}
+
+	for i := range batch {
+		p.offerDetectors(&batch[i].e, batch[i].pair)
+	}
+
+	sh.mu.Lock()
+	for i := range batch {
+		sh.pushArcLocked(&batch[i].e)
+	}
+	sh.mu.Unlock()
+	return points
+}
+
+// latencyPoint converts one enriched measurement into its TSDB point
+// (ms floats, as the Grafana panels expect).
+func latencyPoint(e *analytics.Enriched) tsdb.Point {
+	return tsdb.Point{
+		Name: "latency",
+		Tags: []tsdb.Tag{
+			{Key: "src_city", Value: e.Src.City},
+			{Key: "src_cc", Value: e.Src.CountryCode},
+			{Key: "src_asn", Value: fmt.Sprint(e.Src.ASN)},
+			{Key: "dst_city", Value: e.Dst.City},
+			{Key: "dst_cc", Value: e.Dst.CountryCode},
+			{Key: "dst_asn", Value: fmt.Sprint(e.Dst.ASN)},
+		},
+		Fields: []tsdb.Field{
+			{Key: "internal_ms", Value: float64(e.InternalNs) / 1e6},
+			{Key: "external_ms", Value: float64(e.ExternalNs) / 1e6},
+			{Key: "total_ms", Value: float64(e.TotalNs) / 1e6},
+		},
+		Time: e.Time,
+	}
+}
+
+// offerDetectors feeds one measurement to the anomaly detectors and the
+// SNMP strawman. The detectors are safe for concurrent use (internal
+// locks); single-worker shard affinity additionally keeps per-key offer
+// order deterministic.
+func (p *Pipeline) offerDetectors(e *analytics.Enriched, pair string) {
+	if ev := p.Spikes.Offer(pair, e.Time, e.TotalNs); ev != nil {
+		p.spikeEventsMu.Lock()
+		p.spikeEvents = append(p.spikeEvents, *ev)
+		p.spikeEventsMu.Unlock()
+	}
+	p.Surge.Observe(pair, e.Time)
+	if p.SNMP != nil {
+		p.snmpMu.Lock()
+		p.SNMP.Offer(e.Time, e.TotalNs)
+		p.snmpMu.Unlock()
+	}
+}
+
+// pushArcLocked appends one measurement to the shard's arc ring. Caller
+// holds sh.mu.
+func (sh *sinkShard) pushArcLocked(e *analytics.Enriched) {
+	if len(sh.arcsBuf) < cap(sh.arcsBuf) {
+		sh.arcsBuf = append(sh.arcsBuf, *e)
+	} else {
+		sh.arcsBuf[sh.arcsPos] = *e
+		sh.arcsPos = (sh.arcsPos + 1) % cap(sh.arcsBuf)
+	}
+}
+
+// orderedArcsLocked returns the shard ring's contents oldest→newest.
+// Caller holds sh.mu.
+func (sh *sinkShard) orderedArcsLocked() []analytics.Enriched {
+	out := make([]analytics.Enriched, 0, len(sh.arcsBuf))
+	if len(sh.arcsBuf) < cap(sh.arcsBuf) {
+		return append(out, sh.arcsBuf...)
+	}
+	out = append(out, sh.arcsBuf[sh.arcsPos:]...)
+	return append(out, sh.arcsBuf[:sh.arcsPos]...)
+}
+
+// Feed injects an enriched measurement directly into the sink stage,
+// bypassing packet processing and the worker pool — synchronous, used by
+// harnesses and the quickstart example to exercise storage/visualization in
+// isolation. Safe concurrently with a running pipeline: it takes the same
+// per-shard lock as the owning worker, though cross-call ordering against
+// bus-delivered measurements on the same key is then unspecified.
+func (p *Pipeline) Feed(e *analytics.Enriched) {
+	pair := pairKey(e)
+	sh := p.shardFor(pair)
+	pt := latencyPoint(e)
+	if err := p.DB.Write(&pt); err != nil {
+		p.sinkWriteErrors.Add(1)
+	}
+	if p.Hub.Clients() > 0 {
+		if data, err := json.Marshal([]analytics.Enriched{*e}); err == nil {
+			p.Hub.Broadcast(data)
+		}
+	}
+	p.offerDetectors(e, pair)
+	sh.mu.Lock()
+	sh.pushArcLocked(e)
+	sh.mu.Unlock()
+}
+
+// RecentArcs returns up to n of the most recent enriched measurements for
+// the live map, merged across the per-worker arc rings by measurement time
+// (n <= 0: everything retained, at most SinkWorkers × ArcsBuffer).
+// "Most recent" is approximate when completion timestamps arrive slightly
+// out of order within a shard: the per-shard tail is taken in arrival
+// order before the cross-shard sort — fine for a live visualization feed,
+// and it avoids copying every ring on each request.
+func (p *Pipeline) RecentArcs(n int) []analytics.Enriched {
+	var all []analytics.Enriched
+	for _, sh := range p.sinkShards {
+		sh.mu.Lock()
+		arcs := sh.orderedArcsLocked()
+		// The newest n of the merged set can only come from the newest n
+		// of each shard, so drop each shard's older remainder before the
+		// cross-shard sort instead of copying the whole ring.
+		if n > 0 && n < len(arcs) {
+			arcs = arcs[len(arcs)-n:]
+		}
+		all = append(all, arcs...)
+		sh.mu.Unlock()
+	}
+	// Each shard is already oldest→newest; a stable sort by time merges
+	// them without reordering same-timestamp entries within a shard.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	if n > 0 && n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}

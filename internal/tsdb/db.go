@@ -1,8 +1,12 @@
 package tsdb
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"ruru/internal/hashx"
 )
 
 // Options configures a DB.
@@ -13,22 +17,40 @@ type Options struct {
 	// Retention drops shards whose end is older than this much behind the
 	// newest point (0 = keep everything).
 	Retention int64
+	// Stripes is the number of independently locked partitions the series
+	// space is hashed across (default 8, rounded up to a power of two).
+	// Concurrent writers contend only when they touch series in the same
+	// stripe; Stripes = 1 restores the old single-global-lock behaviour.
+	Stripes int
 }
 
-// DB is the time-series database. Safe for concurrent use.
+// DB is the time-series database. Safe for concurrent use. Writes to
+// different series take different stripe locks, so concurrent writers (the
+// pipeline's sink workers) do not serialize on one global mutex.
 type DB struct {
+	opts    Options
+	stripes []*stripe
+	mask    uint32
+
+	maxT atomic.Int64 // newest point time seen (retention horizon anchor)
+	// sweptShard is the last horizon shard index for which every stripe
+	// was purged: writes to one stripe must still retire expired shards
+	// in stripes that have gone idle.
+	sweptShard atomic.Int64
+	closed     atomic.Bool
+	written    atomic.Uint64
+	dropped    atomic.Uint64 // points dropped by retention at write time
+}
+
+// stripe is one lock-striped partition: a full shard map for the series
+// that hash into it.
+type stripe struct {
 	mu     sync.RWMutex
-	opts   Options
 	shards map[int64]*shard // keyed by shard start time
 	order  []int64          // sorted shard starts
-	maxT   int64
-	closed bool
-
-	written uint64
-	dropped uint64 // points dropped by retention at write time
 }
 
-// shard holds all series for one time slice.
+// shard holds all series for one time slice (within one stripe).
 type shard struct {
 	start, end int64
 	series     map[string]*series
@@ -49,17 +71,43 @@ func Open(opts Options) *DB {
 	if opts.ShardDuration <= 0 {
 		opts.ShardDuration = int64(3600) * 1e9
 	}
-	return &DB{
-		opts:   opts,
-		shards: make(map[int64]*shard),
+	if opts.Stripes <= 0 {
+		opts.Stripes = 8
 	}
+	n := 1
+	for n < opts.Stripes {
+		n <<= 1
+	}
+	db := &DB{opts: opts, stripes: make([]*stripe, n), mask: uint32(n - 1)}
+	db.sweptShard.Store(math.MinInt64)
+	for i := range db.stripes {
+		db.stripes[i] = &stripe{shards: make(map[int64]*shard)}
+	}
+	return db
+}
+
+// stripeIndex hashes a series key onto its stripe.
+func stripeIndex(key string) uint32 {
+	return hashx.FNV1a32(key)
 }
 
 // WriteStats returns (points written, points dropped by retention).
 func (db *DB) WriteStats() (written, dropped uint64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.written, db.dropped
+	return db.written.Load(), db.dropped.Load()
+}
+
+// advanceMaxT raises the global newest-point clock to t and returns the
+// current maximum.
+func (db *DB) advanceMaxT(t int64) int64 {
+	for {
+		cur := db.maxT.Load()
+		if t <= cur {
+			return cur
+		}
+		if db.maxT.CompareAndSwap(cur, t) {
+			return t
+		}
+	}
 }
 
 // Write stores one point. Tags are sorted in place. Points older than the
@@ -68,23 +116,93 @@ func (db *DB) Write(p *Point) error {
 	if len(p.Fields) == 0 {
 		return ErrNoFields
 	}
-	sortTags(p.Tags)
-	key := seriesKey(p.Name, p.Tags)
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	// Refuse closed before touching maxT or retention: a straggler write
+	// must not advance the horizon (and purge shards) on a DB that is
+	// being snapshotted for shutdown.
+	if db.closed.Load() {
 		return ErrClosedDB
 	}
-	if p.Time > db.maxT {
-		db.maxT = p.Time
+	sortTags(p.Tags)
+	key := seriesKey(p.Name, p.Tags)
+	maxT := db.advanceMaxT(p.Time)
+	db.maybeSweepAll(maxT)
+	st := db.stripes[stripeIndex(key)&db.mask]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if db.closed.Load() {
+		return ErrClosedDB
 	}
-	if db.opts.Retention > 0 && p.Time < db.maxT-db.opts.Retention {
-		db.dropped++
-		return nil
+	db.writeLocked(st, p, key, maxT)
+	return nil
+}
+
+// WriteBatch stores all points, taking each involved stripe lock exactly
+// once — the sink-stage fast path that amortizes synchronization across a
+// whole burst. Tags are sorted in place. A point with no fields fails the
+// entire batch before anything is written. ErrClosedDB from a concurrent
+// Close, however, may leave the batch partially applied (whole stripes are
+// written atomically, the batch as a whole is not): applied reports how
+// many points were handled (stored or retention-dropped) so callers can
+// account for the remainder exactly — do not retry the batch.
+func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	if db.closed.Load() {
+		return 0, ErrClosedDB
+	}
+	keys := make([]string, len(pts))
+	sids := make([]uint32, len(pts))
+	batchMax := int64(math.MinInt64)
+	for i := range pts {
+		p := &pts[i]
+		if len(p.Fields) == 0 {
+			return 0, ErrNoFields
+		}
+		sortTags(p.Tags)
+		keys[i] = seriesKey(p.Name, p.Tags)
+		sids[i] = stripeIndex(keys[i]) & db.mask
+		if p.Time > batchMax {
+			batchMax = p.Time
+		}
+	}
+	maxT := db.advanceMaxT(batchMax)
+	db.maybeSweepAll(maxT)
+	for s, st := range db.stripes {
+		touched := false
+		for _, sid := range sids {
+			if sid == uint32(s) {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		st.mu.Lock()
+		if db.closed.Load() {
+			st.mu.Unlock()
+			return applied, ErrClosedDB
+		}
+		for i := range pts {
+			if sids[i] == uint32(s) {
+				db.writeLocked(st, &pts[i], keys[i], maxT)
+				applied++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return applied, nil
+}
+
+// writeLocked appends p to its series in st. Caller holds st.mu.
+func (db *DB) writeLocked(st *stripe, p *Point, key string, maxT int64) {
+	if db.opts.Retention > 0 && p.Time < maxT-db.opts.Retention {
+		db.dropped.Add(1)
+		return
 	}
 	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
-	sh, ok := db.shards[start]
+	sh, ok := st.shards[start]
 	if !ok {
 		sh = &shard{
 			start:  start,
@@ -92,8 +210,8 @@ func (db *DB) Write(p *Point) error {
 			series: make(map[string]*series),
 			index:  make(map[string]map[string][]*series),
 		}
-		db.shards[start] = sh
-		db.order = insertSorted(db.order, start)
+		st.shards[start] = sh
+		st.order = insertSorted(st.order, start)
 	}
 	sr, ok := sh.series[key]
 	if !ok {
@@ -125,9 +243,8 @@ func (db *DB) Write(p *Point) error {
 			sr.fields[k] = append(col, nan)
 		}
 	}
-	db.written++
-	db.enforceRetentionLocked()
-	return nil
+	db.written.Add(1)
+	db.enforceRetentionLocked(st, maxT)
 }
 
 // WriteLine parses one line-protocol record and stores it.
@@ -139,37 +256,81 @@ func (db *DB) WriteLine(line string) error {
 	return db.Write(&p)
 }
 
-// enforceRetentionLocked drops whole shards beyond the horizon.
-func (db *DB) enforceRetentionLocked() {
-	if db.opts.Retention <= 0 {
+// maybeSweepAll retires expired shards from EVERY stripe whenever the
+// retention horizon crosses into a new shard slot. Write-path retention
+// only purges the stripe being written, so without this sweep a stripe
+// whose series go idle would keep its expired shards (and serve them to
+// queries) forever. The CAS bounds the sweep to one writer per horizon
+// shard — at most once per ShardDuration of data time.
+func (db *DB) maybeSweepAll(maxT int64) {
+	if db.opts.Retention <= 0 || db.closed.Load() {
 		return
 	}
-	horizon := db.maxT - db.opts.Retention
-	for len(db.order) > 0 {
-		start := db.order[0]
-		sh := db.shards[start]
-		if sh.end > horizon {
+	hs := floorDiv(maxT-db.opts.Retention, db.opts.ShardDuration)
+	for {
+		cur := db.sweptShard.Load()
+		if hs <= cur {
+			return
+		}
+		if db.sweptShard.CompareAndSwap(cur, hs) {
 			break
 		}
-		delete(db.shards, start)
-		db.order = db.order[1:]
+	}
+	for _, st := range db.stripes {
+		st.mu.Lock()
+		// Recheck under the lock: a Close (e.g. ahead of a shutdown
+		// Snapshot) must stop an in-flight sweep from purging shards the
+		// snapshot still expects to dump.
+		if db.closed.Load() {
+			st.mu.Unlock()
+			return
+		}
+		db.enforceRetentionLocked(st, maxT)
+		st.mu.Unlock()
 	}
 }
 
-// ShardCount returns the number of live shards.
+// enforceRetentionLocked drops whole shards beyond the horizon from one
+// stripe. Caller holds st.mu.
+func (db *DB) enforceRetentionLocked(st *stripe, maxT int64) {
+	if db.opts.Retention <= 0 {
+		return
+	}
+	horizon := maxT - db.opts.Retention
+	for len(st.order) > 0 {
+		start := st.order[0]
+		sh := st.shards[start]
+		if sh.end > horizon {
+			break
+		}
+		delete(st.shards, start)
+		st.order = st.order[1:]
+	}
+}
+
+// ShardCount returns the number of live time shards (a time slice present
+// in several stripes counts once).
 func (db *DB) ShardCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.shards)
+	seen := map[int64]struct{}{}
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		for start := range st.shards {
+			seen[start] = struct{}{}
+		}
+		st.mu.RUnlock()
+	}
+	return len(seen)
 }
 
 // SeriesCount returns the number of distinct series across shards.
 func (db *DB) SeriesCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, sh := range db.shards {
-		n += len(sh.series)
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		for _, sh := range st.shards {
+			n += len(sh.series)
+		}
+		st.mu.RUnlock()
 	}
 	return n
 }
@@ -177,17 +338,19 @@ func (db *DB) SeriesCount() int {
 // TagValues returns the sorted distinct values of a tag key within
 // [start, end), for dashboard pickers.
 func (db *DB) TagValues(key string, start, end int64) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	seen := map[string]bool{}
-	for _, shStart := range db.order {
-		sh := db.shards[shStart]
-		if sh.end <= start || sh.start >= end {
-			continue
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		for _, shStart := range st.order {
+			sh := st.shards[shStart]
+			if sh.end <= start || sh.start >= end {
+				continue
+			}
+			for v := range sh.index[key] {
+				seen[v] = true
+			}
 		}
-		for v := range sh.index[key] {
-			seen[v] = true
-		}
+		st.mu.RUnlock()
 	}
 	out := make([]string, 0, len(seen))
 	for v := range seen {
@@ -197,11 +360,15 @@ func (db *DB) TagValues(key string, start, end int64) []string {
 	return out
 }
 
-// Close marks the DB closed; subsequent writes fail.
+// Close marks the DB closed; subsequent writes fail. Taking every stripe
+// lock once acts as a barrier: writes in flight finish, later ones fail.
 func (db *DB) Close() {
-	db.mu.Lock()
-	db.closed = true
-	db.mu.Unlock()
+	db.closed.Store(true)
+	for _, st := range db.stripes {
+		st.mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		st.mu.Unlock()
+	}
 }
 
 func floorDiv(a, b int64) int64 {

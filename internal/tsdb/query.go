@@ -80,47 +80,51 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 		return nil, ErrBadQuery
 	}
 
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	// collect per-group, per-bucket raw values
+	// Collect per-group, per-bucket raw values, one stripe at a time. A
+	// series lives entirely within one stripe, so values are never split;
+	// a query concurrent with writes sees each stripe at a (slightly)
+	// different instant — fine for the monitoring workload this serves.
 	groups := map[string][][]float64{}
-	for _, shStart := range db.order {
-		sh := db.shards[shStart]
-		if sh.end <= q.Start || sh.start >= q.End {
-			continue
-		}
-		for _, sr := range db.candidateSeries(sh, q) {
-			if sr.name != q.Measurement || !matchTags(sr.tags, q.Where) {
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		for _, shStart := range st.order {
+			sh := st.shards[shStart]
+			if sh.end <= q.Start || sh.start >= q.End {
 				continue
 			}
-			col, ok := sr.fields[q.Field]
-			if !ok {
-				continue
-			}
-			group := ""
-			if q.GroupBy != "" {
-				group = tagValue(sr.tags, q.GroupBy)
-			}
-			buckets := groups[group]
-			if buckets == nil {
-				buckets = make([][]float64, nBuckets)
-				groups[group] = buckets
-			}
-			// Series times are append-ordered; measurements arrive
-			// roughly in order but not strictly — scan all.
-			for i, ts := range sr.times {
-				if ts < q.Start || ts >= q.End {
+			for _, sr := range candidateSeries(sh, q) {
+				if sr.name != q.Measurement || !matchTags(sr.tags, q.Where) {
 					continue
 				}
-				v := col[i]
-				if math.IsNaN(v) {
+				col, ok := sr.fields[q.Field]
+				if !ok {
 					continue
 				}
-				b := int((ts - q.Start) / window)
-				buckets[b] = append(buckets[b], v)
+				group := ""
+				if q.GroupBy != "" {
+					group = tagValue(sr.tags, q.GroupBy)
+				}
+				buckets := groups[group]
+				if buckets == nil {
+					buckets = make([][]float64, nBuckets)
+					groups[group] = buckets
+				}
+				// Series times are append-ordered; measurements arrive
+				// roughly in order but not strictly — scan all.
+				for i, ts := range sr.times {
+					if ts < q.Start || ts >= q.End {
+						continue
+					}
+					v := col[i]
+					if math.IsNaN(v) {
+						continue
+					}
+					b := int((ts - q.Start) / window)
+					buckets[b] = append(buckets[b], v)
+				}
 			}
 		}
+		st.mu.RUnlock()
 	}
 
 	out := make([]SeriesResult, 0, len(groups))
@@ -137,7 +141,7 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 
 // candidateSeries narrows the scan using the inverted index when a filter
 // or group-by key exists; otherwise returns all series in the shard.
-func (db *DB) candidateSeries(sh *shard, q Query) []*series {
+func candidateSeries(sh *shard, q Query) []*series {
 	// Use the most selective Where clause available in this shard's index.
 	var best []*series
 	found := false

@@ -3,6 +3,7 @@ package tsdb
 import (
 	"bufio"
 	"io"
+	"sort"
 )
 
 // Snapshot serializes the database's full contents as Influx line protocol,
@@ -11,37 +12,59 @@ import (
 // InfluxDB, POSTed to another Ruru's /write endpoint, or restored with
 // Restore.
 //
-// Snapshot holds the read lock for its duration; writes block meanwhile.
+// Snapshot acquires every stripe's read lock (in index order) and holds
+// them all for the duration, so each stripe is dumped at a single point in
+// time and writes block until the dump completes. Because acquisition is
+// sequential and WriteBatch applies a batch stripe by stripe, a batch
+// racing the acquisition phase can appear partially in the dump — same
+// per-stripe (not per-batch) consistency WriteBatch itself documents.
 func (db *DB) Snapshot(w io.Writer) (points int64, err error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	starts := map[int64]struct{}{}
+	for _, st := range db.stripes {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		for _, start := range st.order {
+			starts[start] = struct{}{}
+		}
+	}
+	order := make([]int64, 0, len(starts))
+	for start := range starts {
+		order = append(order, start)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
 	bw := bufio.NewWriterSize(w, 1<<16)
 	buf := make([]byte, 0, 512)
 	var p Point
-	for _, start := range db.order {
-		sh := db.shards[start]
-		for _, sr := range sh.series {
-			for i, ts := range sr.times {
-				p.Name = sr.name
-				p.Tags = sr.tags
-				p.Fields = p.Fields[:0]
-				for k, col := range sr.fields {
-					v := col[i]
-					if v != v { // NaN: field absent for this point
+	for _, start := range order {
+		for _, st := range db.stripes {
+			sh, ok := st.shards[start]
+			if !ok {
+				continue
+			}
+			for _, sr := range sh.series {
+				for i, ts := range sr.times {
+					p.Name = sr.name
+					p.Tags = sr.tags
+					p.Fields = p.Fields[:0]
+					for k, col := range sr.fields {
+						v := col[i]
+						if v != v { // NaN: field absent for this point
+							continue
+						}
+						p.Fields = append(p.Fields, Field{Key: k, Value: v})
+					}
+					if len(p.Fields) == 0 {
 						continue
 					}
-					p.Fields = append(p.Fields, Field{Key: k, Value: v})
+					p.Time = ts
+					buf = MarshalLine(buf[:0], &p)
+					buf = append(buf, '\n')
+					if _, err := bw.Write(buf); err != nil {
+						return points, err
+					}
+					points++
 				}
-				if len(p.Fields) == 0 {
-					continue
-				}
-				p.Time = ts
-				buf = MarshalLine(buf[:0], &p)
-				buf = append(buf, '\n')
-				if _, err := bw.Write(buf); err != nil {
-					return points, err
-				}
-				points++
 			}
 		}
 	}

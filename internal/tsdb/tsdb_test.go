@@ -2,8 +2,10 @@ package tsdb
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -420,6 +422,203 @@ func TestLineRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWriteBatch(t *testing.T) {
+	db := Open(Options{})
+	cities := []string{"Auckland", "Sydney", "Tokyo", "London"}
+	batch := make([]Point, 0, 64)
+	for i := 0; i < 64; i++ {
+		batch = append(batch, *pt("latency", int64(i)*1e9,
+			map[string]string{"src_city": cities[i%len(cities)]},
+			map[string]float64{"total_ms": float64(i)}))
+	}
+	applied, err := db.WriteBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 64 {
+		t.Fatalf("applied = %d", applied)
+	}
+	if w, d := db.WriteStats(); w != 64 || d != 0 {
+		t.Fatalf("written=%d dropped=%d", w, d)
+	}
+	if db.SeriesCount() != len(cities) {
+		t.Fatalf("series = %d", db.SeriesCount())
+	}
+	res, err := db.Execute(Query{
+		Measurement: "latency", Field: "total_ms", Start: 0, End: 64e9,
+		GroupBy: "src_city", Aggs: []AggKind{AggCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(cities) {
+		t.Fatalf("%d groups", len(res))
+	}
+	for _, r := range res {
+		if r.Buckets[0].Count != 16 {
+			t.Fatalf("group %s count = %d", r.Group, r.Buckets[0].Count)
+		}
+	}
+	// An empty batch is a no-op; a fieldless point fails the whole batch
+	// before anything is written.
+	if _, err := db.WriteBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Point{*pt("m", 1, nil, map[string]float64{"v": 1}), {Name: "m", Time: 2}}
+	if n, err := db.WriteBatch(bad); err != ErrNoFields || n != 0 {
+		t.Fatalf("err = %v, applied = %d", err, n)
+	}
+	if w, _ := db.WriteStats(); w != 64 {
+		t.Fatalf("failed batch wrote points: written=%d", w)
+	}
+}
+
+func TestWriteBatchRetention(t *testing.T) {
+	db := Open(Options{ShardDuration: 10e9, Retention: 30e9})
+	batch := []Point{
+		*pt("m", 100e9, nil, map[string]float64{"v": 1}),
+		*pt("m", 1e9, nil, map[string]float64{"v": 1}), // behind the horizon set by the first point
+	}
+	applied, err := db.WriteBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 { // retention-dropped points count as applied (handled)
+		t.Fatalf("applied = %d", applied)
+	}
+	if w, d := db.WriteStats(); w != 1 || d != 1 {
+		t.Fatalf("written=%d dropped=%d", w, d)
+	}
+}
+
+func TestRetentionSweepsIdleStripes(t *testing.T) {
+	// Regression: per-stripe retention only purged the stripe being
+	// written, so a stripe whose series went idle kept expired shards —
+	// and served them to queries — forever.
+	db := Open(Options{ShardDuration: 10e9, Retention: 30e9, Stripes: 8})
+	idle := map[string]string{"city": "IdleCity"}
+	busy := map[string]string{"city": "BusyCity"}
+	idleKey := seriesKey("m", []Tag{{"city", "IdleCity"}})
+	busyKey := seriesKey("m", []Tag{{"city", "BusyCity"}})
+	if stripeIndex(idleKey)&db.mask == stripeIndex(busyKey)&db.mask {
+		t.Skip("keys collide onto one stripe; pick different names")
+	}
+	for i := 0; i < 10; i++ {
+		db.Write(pt("m", int64(i)*1e9, idle, map[string]float64{"v": 1}))
+	}
+	// Only the busy series advances time, far past the idle data's horizon.
+	for i := 0; i < 100; i++ {
+		db.Write(pt("m", int64(100+i)*1e9, busy, map[string]float64{"v": 1}))
+	}
+	res, err := db.Execute(Query{Measurement: "m", Field: "v",
+		Start: 0, End: 50e9, Where: []Tag{{"city", "IdleCity"}},
+		Aggs: []AggKind{AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expired shards must be gone entirely (no groups) — not merely
+	// empty buckets.
+	if len(res) != 0 {
+		t.Fatalf("idle stripe still serves expired data: %+v", res)
+	}
+	// maxT=199e9, horizon=169e9: only shards ending after that survive.
+	if got := db.ShardCount(); got > 4 {
+		t.Fatalf("%d shards survive retention", got)
+	}
+}
+
+func TestStripeCountEquivalence(t *testing.T) {
+	// The same writes through a single-lock DB and a striped DB must
+	// answer queries identically.
+	single := Open(Options{ShardDuration: 10e9, Stripes: 1})
+	striped := Open(Options{ShardDuration: 10e9, Stripes: 16})
+	cities := []string{"Auckland", "Sydney", "Tokyo", "London", "Frankfurt"}
+	for i := 0; i < 500; i++ {
+		p := pt("latency", int64(i)*1e8,
+			map[string]string{"src_city": cities[i%len(cities)]},
+			map[string]float64{"total_ms": float64(i % 97)})
+		single.Write(p)
+		striped.Write(pt("latency", int64(i)*1e8,
+			map[string]string{"src_city": cities[i%len(cities)]},
+			map[string]float64{"total_ms": float64(i % 97)}))
+	}
+	// End at 50e9 so every bucket is populated: empty buckets carry NaN
+	// aggregates, which DeepEqual would (correctly) refuse to equate.
+	q := Query{Measurement: "latency", Field: "total_ms", Start: 0, End: 50e9,
+		Window: 10e9, GroupBy: "src_city",
+		Aggs: []AggKind{AggCount, AggMean, AggMedian, AggP99}}
+	a, err := single.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := striped.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("striped results differ:\nsingle:  %+v\nstriped: %+v", a, b)
+	}
+	if single.ShardCount() != striped.ShardCount() {
+		t.Fatalf("shard counts differ: %d vs %d", single.ShardCount(), striped.ShardCount())
+	}
+	if single.SeriesCount() != striped.SeriesCount() {
+		t.Fatalf("series counts differ: %d vs %d", single.SeriesCount(), striped.SeriesCount())
+	}
+}
+
+func TestConcurrentWriteBatchAndQueries(t *testing.T) {
+	// Race contract for the sink stage: several workers calling WriteBatch
+	// on disjoint series while queries, tag scans and snapshots run.
+	db := Open(Options{ShardDuration: 1e9})
+	const workers, batches, batchLen = 4, 50, 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			city := fmt.Sprintf("c%d", w)
+			for n := 0; n < batches; n++ {
+				batch := make([]Point, 0, batchLen)
+				for i := 0; i < batchLen; i++ {
+					batch = append(batch, *pt("m", int64(n*batchLen+i)*1e6,
+						map[string]string{"city": city},
+						map[string]float64{"v": float64(i)}))
+				}
+				if _, err := db.WriteBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 200; i++ {
+			if _, err := db.Execute(Query{Measurement: "m", Field: "v",
+				Start: 0, End: 10e9, GroupBy: "city", Aggs: []AggKind{AggCount, AggP95}}); err != nil {
+				t.Error(err)
+				return
+			}
+			db.TagValues("city", 0, 10e9)
+			db.Snapshot(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if w, _ := db.WriteStats(); w != workers*batches*batchLen {
+		t.Fatalf("written = %d, want %d", w, workers*batches*batchLen)
+	}
+	res, err := db.Execute(Query{Measurement: "m", Field: "v",
+		Start: 0, End: 10e9, Aggs: []AggKind{AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Buckets[0].Count != workers*batches*batchLen {
+		t.Fatalf("count = %d", res[0].Buckets[0].Count)
 	}
 }
 

@@ -182,7 +182,10 @@ func TestWebSocketLiveFeed(t *testing.T) {
 	}
 	feedSamples(p, 3)
 	c.SetReadDeadline(time.Now().Add(2 * time.Second))
-	for i := 0; i < 3; i++ {
+	// The live feed sends JSON arrays (the sink coalesces measurements
+	// into batched frames).
+	received := 0
+	for received < 3 {
 		op, msg, err := c.ReadMessage()
 		if err != nil {
 			t.Fatal(err)
@@ -190,12 +193,15 @@ func TestWebSocketLiveFeed(t *testing.T) {
 		if op != ws.OpText {
 			t.Fatalf("opcode %v", op)
 		}
-		var e analytics.Enriched
-		if err := json.Unmarshal(msg, &e); err != nil {
+		var batch []analytics.Enriched
+		if err := json.Unmarshal(msg, &batch); err != nil {
 			t.Fatalf("bad JSON: %v (%s)", err, msg)
 		}
-		if e.Src.City != "Auckland" {
-			t.Fatalf("payload: %+v", e)
+		for _, e := range batch {
+			if e.Src.City != "Auckland" {
+				t.Fatalf("payload: %+v", e)
+			}
+			received++
 		}
 	}
 }

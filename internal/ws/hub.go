@@ -19,6 +19,11 @@ type Hub struct {
 	clients map[*hubClient]struct{}
 	closed  bool
 
+	// count mirrors len(clients) so Clients() is lock-free: the pipeline's
+	// sink workers probe it per batch to skip JSON marshalling entirely
+	// when nobody is connected.
+	count atomic.Int64
+
 	sent    atomic.Uint64
 	dropped atomic.Uint64
 }
@@ -51,6 +56,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.clients[c] = struct{}{}
+	h.count.Store(int64(len(h.clients)))
 	h.mu.Unlock()
 
 	// Reader goroutine: clients don't send data, but reading services
@@ -77,6 +83,7 @@ func (h *Hub) drop(c *hubClient) {
 	h.mu.Lock()
 	if _, ok := h.clients[c]; ok {
 		delete(h.clients, c)
+		h.count.Store(int64(len(h.clients)))
 		c.once.Do(func() { close(c.ch) })
 	}
 	h.mu.Unlock()
@@ -97,11 +104,10 @@ func (h *Hub) Broadcast(msg []byte) {
 	}
 }
 
-// Clients returns the current client count.
+// Clients returns the current client count. Lock-free: safe to call from
+// every sink worker on every batch.
 func (h *Hub) Clients() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.clients)
+	return int(h.count.Load())
 }
 
 // Stats returns (messages sent, messages dropped to slow clients).
@@ -118,6 +124,7 @@ func (h *Hub) Close() {
 		clients = append(clients, c)
 	}
 	h.clients = map[*hubClient]struct{}{}
+	h.count.Store(0)
 	h.mu.Unlock()
 	for _, c := range clients {
 		c.once.Do(func() { close(c.ch) })

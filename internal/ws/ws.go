@@ -13,6 +13,7 @@ package ws
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"crypto/sha1"
 	"encoding/base64"
 	"encoding/binary"
@@ -138,9 +139,16 @@ func Dial(url string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	keyBytes := make([]byte, 16)
-	rand.Read(keyBytes)
-	key := base64.StdEncoding.EncodeToString(keyBytes)
+	// RFC 6455 §4.1: the Sec-WebSocket-Key nonce must be "selected
+	// randomly" — unpredictably, so a server cannot be confused by a
+	// replayed or guessed handshake. math/rand (the previous source) is
+	// seedable and predictable; use the CSPRNG.
+	var keyBytes [16]byte
+	if _, err := crand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake nonce: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
 	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\n"+
 		"Upgrade: websocket\r\nConnection: Upgrade\r\n"+
 		"Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", path, host, key)
@@ -177,10 +185,18 @@ func Dial(url string) (*Conn, error) {
 		conn.Close()
 		return nil, errors.New("ws: bad Sec-WebSocket-Accept")
 	}
+	// Masking keys need not be cryptographically strong (they defeat
+	// proxy cache poisoning, not an observer), but seed the fast PRNG
+	// from the CSPRNG so distinct connections never share a mask stream.
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: mask seed: %w", err)
+	}
 	return &Conn{
 		conn: conn, br: br, server: false,
 		MaxMessage: DefaultMaxMessage,
-		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:        rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:])))),
 	}, nil
 }
 
