@@ -31,6 +31,7 @@ func main() {
 		group  = flag.String("group", "", "group-by tag key")
 		where  = flag.String("where", "", "filter, key:value")
 		field  = flag.String("field", "total_ms", "field to aggregate")
+		resol  = flag.String("resolution", "", `query resolution: "auto" (planner picks a rollup tier), "raw", or a tier width like 10s; the server reports the serving tier in each result's "tier" field`)
 		n      = flag.Int("n", 10, "arcs to fetch")
 		pretty = flag.Bool("pretty", true, "indent JSON output")
 	)
@@ -58,6 +59,9 @@ func main() {
 		}
 		if *where != "" {
 			v.Set("where", *where)
+		}
+		if *resol != "" {
+			v.Set("resolution", *resol)
 		}
 		u = fmt.Sprintf("http://%s/api/query?%s", *addr, v.Encode())
 	case "tags":

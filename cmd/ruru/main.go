@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"ruru/internal/gen"
@@ -26,6 +27,7 @@ import (
 	"ruru/internal/nic"
 	"ruru/internal/pcap"
 	"ruru/internal/ruru"
+	"ruru/internal/tsdb"
 	"ruru/internal/web"
 )
 
@@ -47,8 +49,14 @@ func main() {
 		sinkWk     = flag.Int("sink-workers", 4, "sharded sink workers (measurements partitioned by city pair)")
 		sinkBatch  = flag.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
 		dbStripes  = flag.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
+		rollup     = flag.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
 	)
 	flag.Parse()
+
+	rollups, err := parseRollups(*rollup)
+	if err != nil {
+		log.Fatalf("bad -rollup: %v", err)
+	}
 
 	var policy nic.OverflowPolicy
 	switch *overflow {
@@ -75,6 +83,7 @@ func main() {
 		SinkWorkers:     *sinkWk,
 		SinkBatch:       *sinkBatch,
 		DBStripes:       *dbStripes,
+		Rollups:         rollups,
 	})
 	if err != nil {
 		log.Fatalf("assembling pipeline: %v", err)
@@ -175,6 +184,35 @@ func main() {
 	fmt.Println()
 	st := p.Stats()
 	log.Printf("ruru: final stats: %+v", st)
+}
+
+// parseRollups parses the -rollup flag: "off" (or "") disables rollups,
+// "default" selects tsdb.DefaultRollups(), and otherwise each
+// comma-separated "width[:retention]" entry is a pair of Go durations
+// (retention omitted or 0 = keep that tier forever).
+func parseRollups(s string) ([]tsdb.RollupTier, error) {
+	switch s {
+	case "", "off", "none":
+		return nil, nil
+	case "default":
+		return tsdb.DefaultRollups(), nil
+	}
+	var tiers []tsdb.RollupTier
+	for _, part := range strings.Split(s, ",") {
+		widthStr, retStr, hasRet := strings.Cut(strings.TrimSpace(part), ":")
+		width, err := time.ParseDuration(widthStr)
+		if err != nil || width <= 0 {
+			return nil, fmt.Errorf("tier width %q (want a positive duration like 10s)", widthStr)
+		}
+		var ret time.Duration
+		if hasRet {
+			if ret, err = time.ParseDuration(retStr); err != nil || ret < 0 {
+				return nil, fmt.Errorf("tier retention %q (want a non-negative duration, 0 = forever)", retStr)
+			}
+		}
+		tiers = append(tiers, tsdb.RollupTier{Width: width.Nanoseconds(), Retention: ret.Nanoseconds()})
+	}
+	return tiers, nil
 }
 
 // replayPcap paces a capture into the port on its own timestamps, in

@@ -162,7 +162,9 @@ func getEndpoint(buf []byte, e *Endpoint) ([]byte, error) {
 	return buf[20:], nil
 }
 
-// MarshalEnriched encodes e, appending to buf.
+// MarshalEnriched encodes e into buf's storage (overwriting from the
+// start, like buf[:0]) and returns the encoded slice. Pass nil to
+// allocate; reuse the returned slice across calls to amortize.
 func MarshalEnriched(buf []byte, e *Enriched) []byte {
 	buf = append(buf[:0], enrichedVersion)
 	var fixed [33]byte

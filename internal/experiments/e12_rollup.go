@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"ruru/internal/tsdb"
+)
+
+// E12Result measures the rollup tentpole: the dashboard query shape (a long
+// range at an aligned window) served by re-scanning raw samples versus
+// merging one tier's pre-aggregates, over the same rollup-enabled DB. The
+// Speedup column is the claim the query planner exists for: tier-served
+// reads cost O(range/tierWidth) regardless of ingest rate, so the live
+// timeline stays interactive as retention and traffic grow.
+type E12Result struct {
+	Points      int
+	Series      int
+	RangeNs     int64
+	WindowNs    int64
+	TierNs      int64 // tier the planner chose (bucket width, ns)
+	RawLatency  time.Duration
+	TierLatency time.Duration
+	Speedup     float64
+	// Equivalence of the two paths over every bucket of the measured
+	// query: count/min/max/sum must agree exactly, quantiles within the
+	// tier histogram's bin error.
+	ExactAggsEqual bool
+	MaxQuantRelErr float64
+}
+
+// E12Config parameterizes the rollup experiment.
+type E12Config struct {
+	Seed   int64
+	Points int   // default 360k (100/s over the hour)
+	Pairs  int   // distinct src_city values (default 8)
+	Range  int64 // query range, default 1h
+	Window int64 // query window, default 10s
+}
+
+// E12 populates a rollup-enabled TSDB with an hour of geo-tagged latency
+// points, runs the 1h/10s dashboard query through the raw path and the
+// resolution-aware planner, and reports latencies, the serving tier, and
+// raw-vs-tier equivalence.
+func E12(cfg E12Config, w io.Writer) (E12Result, error) {
+	if cfg.Points <= 0 {
+		cfg.Points = 360_000
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 8
+	}
+	if cfg.Range <= 0 {
+		cfg.Range = 3600e9
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10e9
+	}
+	db := tsdb.Open(tsdb.Options{Rollups: tsdb.DefaultRollups()})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := tsdb.Point{Name: "latency"}
+	for i := 0; i < cfg.Points; i++ {
+		// Integer-valued ms so float sums are exact under reordering and
+		// the raw/tier comparison below can demand bitwise equality.
+		total := float64(100 + rng.Intn(300))
+		p.Tags = append(p.Tags[:0],
+			tsdb.Tag{Key: "src_city", Value: fmt.Sprintf("City%d", rng.Intn(cfg.Pairs))},
+			tsdb.Tag{Key: "dst_city", Value: "Los Angeles"},
+		)
+		p.Fields = append(p.Fields[:0], tsdb.Field{Key: "total_ms", Value: total})
+		p.Time = rng.Int63n(cfg.Range)
+		if err := db.Write(&p); err != nil {
+			return E12Result{}, err
+		}
+	}
+	res := E12Result{
+		Points: cfg.Points, Series: db.SeriesCount(),
+		RangeNs: cfg.Range, WindowNs: cfg.Window,
+		ExactAggsEqual: true,
+	}
+
+	q := tsdb.Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: cfg.Range, Window: cfg.Window, GroupBy: "src_city",
+		Aggs: []tsdb.AggKind{tsdb.AggCount, tsdb.AggMin, tsdb.AggMax, tsdb.AggSum,
+			tsdb.AggMean, tsdb.AggP95, tsdb.AggP99},
+	}
+	run := func(resolution int64) ([]tsdb.SeriesResult, time.Duration, error) {
+		qq := q
+		qq.Resolution = resolution
+		start := time.Now()
+		out, err := db.Execute(qq)
+		return out, time.Since(start), err
+	}
+	// Warm both paths once, then measure the better of 3 runs each.
+	if _, _, err := run(tsdb.ResolutionRaw); err != nil {
+		return res, err
+	}
+	tiered, _, err := run(tsdb.ResolutionAuto)
+	if err != nil {
+		return res, err
+	}
+	raw, rawLat, err := run(tsdb.ResolutionRaw)
+	res.RawLatency = rawLat
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < 2; i++ {
+		if _, lat, err := run(tsdb.ResolutionRaw); err == nil && lat < res.RawLatency {
+			res.RawLatency = lat
+		}
+	}
+	res.TierLatency = time.Duration(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		if _, lat, err := run(tsdb.ResolutionAuto); err == nil && lat < res.TierLatency {
+			res.TierLatency = lat
+		}
+	}
+	if res.TierLatency > 0 {
+		res.Speedup = float64(res.RawLatency) / float64(res.TierLatency)
+	}
+
+	if len(tiered) != len(raw) {
+		return res, fmt.Errorf("e12: %d tier groups vs %d raw groups", len(tiered), len(raw))
+	}
+	for g := range tiered {
+		res.TierNs = tiered[g].Tier
+		if tiered[g].Tier == 0 {
+			return res, fmt.Errorf("e12: group %q not served from a tier", tiered[g].Group)
+		}
+		for i := range tiered[g].Buckets {
+			tb, rb := tiered[g].Buckets[i], raw[g].Buckets[i]
+			if tb.Count != rb.Count {
+				res.ExactAggsEqual = false
+			}
+			for _, k := range []tsdb.AggKind{tsdb.AggCount, tsdb.AggMin, tsdb.AggMax, tsdb.AggSum, tsdb.AggMean} {
+				if tb.Aggs[k] != rb.Aggs[k] {
+					res.ExactAggsEqual = false
+				}
+			}
+			for _, k := range []tsdb.AggKind{tsdb.AggP95, tsdb.AggP99} {
+				if rb.Aggs[k] != 0 {
+					if rel := math.Abs(tb.Aggs[k]-rb.Aggs[k]) / math.Abs(rb.Aggs[k]); rel > res.MaxQuantRelErr {
+						res.MaxQuantRelErr = rel
+					}
+				}
+			}
+		}
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "E12: rollup-served dashboard query (%d points, %d series, %s range, %s windows)\n",
+			res.Points, res.Series,
+			time.Duration(res.RangeNs).Round(time.Second), time.Duration(res.WindowNs).Round(time.Second))
+		fmt.Fprintf(w, "  raw path                   %12s\n", res.RawLatency.Round(time.Microsecond))
+		fmt.Fprintf(w, "  tier path (%s buckets)    %12s\n",
+			time.Duration(res.TierNs).Round(time.Second), res.TierLatency.Round(time.Microsecond))
+		fmt.Fprintf(w, "  speedup                    %11.1fx\n", res.Speedup)
+		fmt.Fprintf(w, "  count/min/max/sum/mean     exact=%v, max quantile rel err %.1f%%\n",
+			res.ExactAggsEqual, 100*res.MaxQuantRelErr)
+	}
+	return res, nil
+}

@@ -285,3 +285,25 @@ func TestE11SinkSweep(t *testing.T) {
 		}
 	}
 }
+
+func TestE12RollupQuery(t *testing.T) {
+	res, err := E12(E12Config{Seed: 1, Points: 60000}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dashboard shape must be planned onto the 10s tier, agree exactly
+	// with raw on the exact aggregations, and keep quantiles within the
+	// histogram's documented one-bin error (≤ ~25% relative).
+	if res.TierNs != 10e9 {
+		t.Fatalf("served from tier %d, want 10s", res.TierNs)
+	}
+	if !res.ExactAggsEqual {
+		t.Fatal("count/min/max/sum/mean diverged from the raw path")
+	}
+	if res.MaxQuantRelErr > 0.25 {
+		t.Fatalf("quantile error %.1f%% exceeds bin error", 100*res.MaxQuantRelErr)
+	}
+	if res.RawLatency <= 0 || res.TierLatency <= 0 {
+		t.Fatalf("latencies not measured: %+v", res)
+	}
+}

@@ -79,13 +79,23 @@ type Config struct {
 	// frame per batch (default 64).
 	SinkBatch int
 
-	// TSDB options.
+	// TSDB options. ShardDuration is the width of one storage time shard
+	// and Retention the raw-point horizon, both in nanoseconds of the
+	// data's own clock (zero values keep tsdb defaults: 1h shards,
+	// keep-everything).
 	ShardDuration int64
 	Retention     int64
 	// DBStripes is the TSDB lock-stripe count: concurrent sink workers
 	// contend only within a stripe (default 8; 1 restores a single global
 	// write lock).
 	DBStripes int
+	// Rollups configures the TSDB's multi-resolution downsampling tiers
+	// (see tsdb.RollupTier): every stored measurement additionally feeds
+	// each tier's pre-aggregates, and aligned dashboard queries are served
+	// from the coarsest usable tier instead of re-scanning raw points.
+	// Nil disables rollups; tsdb.DefaultRollups() gives the standard
+	// 1s/10s/1m ladder.
+	Rollups []tsdb.RollupTier
 
 	// HubQueue is the per-WebSocket-client queue depth (default 256).
 	HubQueue int
@@ -115,22 +125,27 @@ const (
 	TopicEnriched = analytics.TopicEnriched
 )
 
-// Pipeline is an assembled Ruru instance.
+// Pipeline is an assembled Ruru instance. The exported stage fields are
+// the embedding points for callers: inject traffic into Port, read
+// aggregates from DB, attach WebSocket clients via Hub, subscribe to Bus
+// topics for custom modules. Each stage is individually safe for
+// concurrent use (see ARCHITECTURE.md for the per-package contracts); the
+// fields themselves must be treated as read-only after New returns.
 type Pipeline struct {
 	cfg Config
 
-	Pool     *nic.Mempool
-	Port     *nic.Port
-	Engine   *core.Engine
-	Bus      *mq.Bus
-	Enricher *analytics.Enricher
-	DB       *tsdb.DB
-	Hub      *ws.Hub
+	Pool     *nic.Mempool        // packet buffer pool shared by all queues
+	Port     *nic.Port           // ingest: Inject*/RxBurst and per-queue stats
+	Engine   *core.Engine        // per-queue handshake measurement workers
+	Bus      *mq.Bus             // PUB/SUB bus carrying raw + enriched topics
+	Enricher *analytics.Enricher // geo/AS enrichment worker pool
+	DB       *tsdb.DB            // embedded TSDB (queries, snapshot, rollups)
+	Hub      *ws.Hub             // WebSocket fan-out to live frontends
 
-	Spikes *anomaly.SpikeBank
-	Flood  *anomaly.FloodDetector
-	Surge  *anomaly.SurgeDetector
-	SNMP   *anomaly.SNMPPoller
+	Spikes *anomaly.SpikeBank     // per-city-pair latency spike detectors
+	Flood  *anomaly.FloodDetector // SYN-flood detector (expiry-fed)
+	Surge  *anomaly.SurgeDetector // per-pair connection-rate surge detector
+	SNMP   *anomaly.SNMPPoller    // coarse "conventional monitoring" baseline
 
 	floodMu sync.Mutex
 	snmpMu  sync.Mutex
@@ -240,7 +255,7 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p.DB = tsdb.Open(tsdb.Options{
 		ShardDuration: cfg.ShardDuration, Retention: cfg.Retention,
-		Stripes: cfg.DBStripes,
+		Stripes: cfg.DBStripes, Rollups: cfg.Rollups,
 	})
 	p.Hub = ws.NewHub(cfg.HubQueue)
 	p.sinkShards = make([]*sinkShard, cfg.SinkWorkers)

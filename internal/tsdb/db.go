@@ -22,6 +22,12 @@ type Options struct {
 	// Concurrent writers contend only when they touch series in the same
 	// stripe; Stripes = 1 restores the old single-global-lock behaviour.
 	Stripes int
+	// Rollups enables multi-resolution downsampling: every write
+	// additionally feeds each listed tier's pre-aggregates, and Execute
+	// serves aligned windowed queries from the coarsest usable tier (see
+	// rollup.go). Nil disables rollups. Open sorts the tiers finest-first
+	// and drops invalid (non-positive width) or duplicate-width entries.
+	Rollups []RollupTier
 }
 
 // DB is the time-series database. Safe for concurrent use. Writes to
@@ -33,6 +39,10 @@ type DB struct {
 	mask    uint32
 
 	maxT atomic.Int64 // newest point time seen (retention horizon anchor)
+	// sweepRet is the smallest positive retention across raw storage and
+	// the rollup tiers (0 when nothing expires): it decides how often
+	// maybeSweepAll must run.
+	sweepRet int64
 	// sweptShard is the last horizon shard index for which every stripe
 	// was purged: writes to one stripe must still retire expired shards
 	// in stripes that have gone idle.
@@ -43,11 +53,14 @@ type DB struct {
 }
 
 // stripe is one lock-striped partition: a full shard map for the series
-// that hash into it.
+// that hash into it, plus per-tier rollup shard maps for the same series.
+// A series' raw points and its tier pre-aggregates always live in the same
+// stripe and are only touched under mu.
 type stripe struct {
 	mu     sync.RWMutex
 	shards map[int64]*shard // keyed by shard start time
 	order  []int64          // sorted shard starts
+	tiers  []tierStripe     // one per Options.Rollups entry
 }
 
 // shard holds all series for one time slice (within one stripe).
@@ -74,14 +87,28 @@ func Open(opts Options) *DB {
 	if opts.Stripes <= 0 {
 		opts.Stripes = 8
 	}
+	opts.Rollups = normalizeRollups(opts.Rollups)
 	n := 1
 	for n < opts.Stripes {
 		n <<= 1
 	}
 	db := &DB{opts: opts, stripes: make([]*stripe, n), mask: uint32(n - 1)}
+	if opts.Retention > 0 {
+		db.sweepRet = opts.Retention
+	}
+	for _, t := range opts.Rollups {
+		if t.Retention > 0 && (db.sweepRet == 0 || t.Retention < db.sweepRet) {
+			db.sweepRet = t.Retention
+		}
+	}
 	db.sweptShard.Store(math.MinInt64)
 	for i := range db.stripes {
-		db.stripes[i] = &stripe{shards: make(map[int64]*shard)}
+		st := &stripe{shards: make(map[int64]*shard)}
+		st.tiers = make([]tierStripe, len(opts.Rollups))
+		for t := range st.tiers {
+			st.tiers[t].shards = make(map[int64]*tierShard)
+		}
+		db.stripes[i] = st
 	}
 	return db
 }
@@ -195,10 +222,17 @@ func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
 	return applied, nil
 }
 
-// writeLocked appends p to its series in st. Caller holds st.mu.
+// writeLocked appends p to its series in st and feeds the rollup tiers.
+// Caller holds st.mu. Raw and tier retention are independent: a point too
+// old for raw storage (counted in dropped) can still land in a coarse tier
+// whose longer horizon covers it.
 func (db *DB) writeLocked(st *stripe, p *Point, key string, maxT int64) {
+	if len(db.opts.Rollups) > 0 {
+		db.writeTiersLocked(st, p, key, maxT)
+	}
 	if db.opts.Retention > 0 && p.Time < maxT-db.opts.Retention {
 		db.dropped.Add(1)
+		db.enforceRetentionLocked(st, maxT)
 		return
 	}
 	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
@@ -257,16 +291,17 @@ func (db *DB) WriteLine(line string) error {
 }
 
 // maybeSweepAll retires expired shards from EVERY stripe whenever the
-// retention horizon crosses into a new shard slot. Write-path retention
-// only purges the stripe being written, so without this sweep a stripe
-// whose series go idle would keep its expired shards (and serve them to
-// queries) forever. The CAS bounds the sweep to one writer per horizon
-// shard — at most once per ShardDuration of data time.
+// tightest retention horizon (raw or any rollup tier) crosses into a new
+// shard slot. Write-path retention only purges the stripe being written,
+// so without this sweep a stripe whose series go idle would keep its
+// expired shards (and serve them to queries) forever. The CAS bounds the
+// sweep to one writer per horizon shard — at most once per ShardDuration
+// of data time.
 func (db *DB) maybeSweepAll(maxT int64) {
-	if db.opts.Retention <= 0 || db.closed.Load() {
+	if db.sweepRet <= 0 || db.closed.Load() {
 		return
 	}
-	hs := floorDiv(maxT-db.opts.Retention, db.opts.ShardDuration)
+	hs := floorDiv(maxT-db.sweepRet, db.opts.ShardDuration)
 	for {
 		cur := db.sweptShard.Load()
 		if hs <= cur {
@@ -290,9 +325,13 @@ func (db *DB) maybeSweepAll(maxT int64) {
 	}
 }
 
-// enforceRetentionLocked drops whole shards beyond the horizon from one
-// stripe. Caller holds st.mu.
+// enforceRetentionLocked drops whole shards beyond the raw horizon and
+// whole tier shards beyond each tier's own horizon from one stripe.
+// Caller holds st.mu.
 func (db *DB) enforceRetentionLocked(st *stripe, maxT int64) {
+	if len(st.tiers) > 0 {
+		db.enforceTierRetentionLocked(st, maxT)
+	}
 	if db.opts.Retention <= 0 {
 		return
 	}

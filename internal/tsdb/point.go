@@ -46,6 +46,10 @@ var (
 	ErrClosedDB   = errors.New("tsdb: database closed")
 	ErrBadQuery   = errors.New("tsdb: malformed query")
 	ErrUnknownAgg = errors.New("tsdb: unknown aggregation")
+	// ErrBadResolution reports a Query.Resolution that names no configured
+	// rollup tier, or one whose buckets cannot align with the requested
+	// window and range.
+	ErrBadResolution = errors.New("tsdb: unusable query resolution")
 )
 
 // seriesKey builds the canonical identity string: name,k1=v1,k2=v2 with

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 )
@@ -32,33 +33,101 @@ func ValidAgg(k AggKind) bool {
 	return false
 }
 
+// Resolution values for Query.Resolution beyond an explicit tier width.
+const (
+	// ResolutionAuto lets the planner pick the coarsest rollup tier whose
+	// buckets align with the requested window, falling back to raw.
+	ResolutionAuto int64 = 0
+	// ResolutionRaw forces the raw-sample path even when a tier could
+	// serve the query.
+	ResolutionRaw int64 = -1
+)
+
 // Query selects windowed aggregates of one field.
 type Query struct {
+	// Measurement and Field name the series column to aggregate; both are
+	// required.
 	Measurement string
 	Field       string
-	Start, End  int64 // [Start, End)
-	Where       []Tag // equality filters, ANDed
-	GroupBy     string
-	Aggs        []AggKind
-	// Window is the time bucket width; 0 means one bucket spanning the
-	// whole range.
+	// Start and End bound the query range [Start, End) in the data's own
+	// clock (nanoseconds). End must be greater than Start.
+	Start, End int64
+	// Where lists equality filters on tag values, ANDed together.
+	Where []Tag
+	// GroupBy, when non-empty, produces one SeriesResult per distinct
+	// value of this tag key (series without the key group under "").
+	GroupBy string
+	// Aggs selects the aggregations to compute; empty defaults to
+	// []AggKind{AggMean}.
+	Aggs []AggKind
+	// Window is the output bucket width in nanoseconds. Window <= 0 means
+	// a single bucket spanning the whole [Start, End) range.
 	Window int64
+	// Resolution controls which storage resolution serves the query:
+	// ResolutionAuto (the zero value) lets the planner choose,
+	// ResolutionRaw forces the raw path, and a positive value forces the
+	// rollup tier with exactly that bucket width — failing with
+	// ErrBadResolution if no such tier exists or its buckets do not align
+	// with the requested window.
+	Resolution int64
 }
 
-// Bucket is one output time window.
+// Bucket is one output time window. Count is the number of raw samples the
+// bucket aggregates (0 for an empty bucket) and is always populated;
+// Aggs[AggCount] is the same value as a float64, present only when
+// AggCount was requested.
 type Bucket struct {
 	Start int64               `json:"start"`
 	Count int                 `json:"count"`
 	Aggs  map[AggKind]float64 `json:"aggs"`
 }
 
+// MarshalJSON emits non-finite aggregate values (the NaN an empty bucket
+// carries for value aggregations) as JSON null: encoding/json has no
+// representation for NaN/±Inf and would otherwise fail the entire
+// response mid-stream.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type bucketJSON struct {
+		Start int64                `json:"start"`
+		Count int                  `json:"count"`
+		Aggs  map[AggKind]*float64 `json:"aggs"`
+	}
+	out := bucketJSON{Start: b.Start, Count: b.Count}
+	if b.Aggs != nil {
+		out.Aggs = make(map[AggKind]*float64, len(b.Aggs))
+		for k, v := range b.Aggs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				out.Aggs[k] = nil
+				continue
+			}
+			v := v
+			out.Aggs[k] = &v
+		}
+	}
+	return json.Marshal(out)
+}
+
 // SeriesResult is the output for one group.
 type SeriesResult struct {
-	Group   string   `json:"group"` // GroupBy tag value, "" without GroupBy
+	Group string `json:"group"` // GroupBy tag value, "" without GroupBy
+	// Tier reports which storage resolution served the query: the bucket
+	// width (ns) of the rollup tier, or 0 when raw samples were scanned.
+	Tier    int64    `json:"tier"`
 	Buckets []Bucket `json:"buckets"`
 }
 
 // Execute runs q and returns one SeriesResult per group, sorted by group.
+//
+// When rollup tiers are configured (Options.Rollups) the resolution-aware
+// planner first tries to serve the query from pre-aggregates: it picks the
+// coarsest tier whose bucket width divides the window and whose buckets
+// align with [Start, End), subject to Query.Resolution. A tier-served
+// query merges O(range/tierWidth) pre-aggregates per series instead of
+// buffering every raw sample; count/min/max are exact, sum/mean exact up
+// to floating-point summation order (bit-identical to the raw path for
+// integer-valued fields), and median/p95/p99 stay within one histogram
+// bin (≤ ~25% relative error, typically a few percent) of the raw answer.
+// The serving resolution is reported in SeriesResult.Tier.
 func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 	if q.Measurement == "" || q.Field == "" || q.End <= q.Start {
 		return nil, ErrBadQuery
@@ -79,8 +148,13 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 	if nBuckets <= 0 || nBuckets > 1<<20 {
 		return nil, ErrBadQuery
 	}
+	if ti, err := db.planTier(&q, window); err != nil {
+		return nil, err
+	} else if ti >= 0 {
+		return db.executeTier(&q, window, nBuckets, ti)
+	}
 
-	// Collect per-group, per-bucket raw values, one stripe at a time. A
+	// Raw path. Collect per-group, per-bucket raw values, one stripe at a time. A
 	// series lives entirely within one stripe, so values are never split;
 	// a query concurrent with writes sees each stripe at a (slightly)
 	// different instant — fine for the monitoring workload this serves.
@@ -137,6 +211,61 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
 	return out, nil
+}
+
+// planTier is the resolution-aware planner: it returns the index into
+// Options.Rollups of the tier that should serve the query, or -1 for the
+// raw path. A tier is usable when its bucket width divides the effective
+// window AND the query's Start/End both fall on tier bucket boundaries
+// (otherwise tier buckets would straddle output buckets and the answer
+// would differ from the raw path), AND its retention still covers Start.
+// Under ResolutionAuto the coarsest usable tier wins; a positive
+// Query.Resolution demands the tier with exactly that width and fails with
+// ErrBadResolution when it does not exist or is not usable for this shape.
+func (db *DB) planTier(q *Query, window int64) (int, error) {
+	switch {
+	case q.Resolution == ResolutionRaw:
+		return -1, nil
+	case q.Resolution > 0:
+		for i := range db.opts.Rollups {
+			if db.opts.Rollups[i].Width == q.Resolution {
+				if !tierAligned(q, window, q.Resolution) {
+					return -1, ErrBadResolution
+				}
+				return i, nil
+			}
+		}
+		return -1, ErrBadResolution
+	case q.Resolution != ResolutionAuto:
+		return -1, ErrBadResolution
+	}
+	best := -1
+	maxT := db.maxT.Load()
+	for i := range db.opts.Rollups {
+		t := &db.opts.Rollups[i]
+		if tierAligned(q, window, t.Width) && db.tierCovers(t, q.Start, maxT) {
+			best = i // tiers are sorted finest-first; keep the coarsest
+		}
+	}
+	return best, nil
+}
+
+// tierAligned reports whether a tier of the given bucket width can serve
+// the query shape exactly: width divides the window and both range bounds
+// sit on tier bucket boundaries.
+func tierAligned(q *Query, window, width int64) bool {
+	return width <= window && window%width == 0 &&
+		floorDiv(q.Start, width)*width == q.Start &&
+		floorDiv(q.End, width)*width == q.End
+}
+
+// tierCovers reports whether the tier's retention still holds data back to
+// start. A tier that retains at least as long as raw storage is always
+// acceptable: past both horizons neither source has the data, so the tier
+// answers no worse than raw would.
+func (db *DB) tierCovers(t *RollupTier, start, maxT int64) bool {
+	return t.Retention == 0 || start >= maxT-t.Retention ||
+		(db.opts.Retention > 0 && t.Retention >= db.opts.Retention)
 }
 
 // candidateSeries narrows the scan using the inverted index when a filter
@@ -199,16 +328,26 @@ func aggregate(start int64, vals []float64, aggs []AggKind) Bucket {
 		return b
 	}
 	var sorted []float64
-	needSort := false
+	needSort, needSum := false, false
 	for _, a := range aggs {
-		if a == AggMedian || a == AggP95 || a == AggP99 {
+		switch a {
+		case AggMedian, AggP95, AggP99:
 			needSort = true
+		case AggMean, AggSum:
+			needSum = true
 		}
 	}
 	if needSort {
 		sorted = make([]float64, len(vals))
 		copy(sorted, vals)
 		sort.Float64s(sorted)
+	}
+	// One pass for the sum even when both mean and sum are requested.
+	sum := 0.0
+	if needSum {
+		for _, v := range vals {
+			sum += v
+		}
 	}
 	for _, a := range aggs {
 		switch a {
@@ -229,17 +368,9 @@ func aggregate(start int64, vals []float64, aggs []AggKind) Bucket {
 			}
 			b.Aggs[a] = m
 		case AggMean:
-			s := 0.0
-			for _, v := range vals {
-				s += v
-			}
-			b.Aggs[a] = s / float64(len(vals))
+			b.Aggs[a] = sum / float64(len(vals))
 		case AggSum:
-			s := 0.0
-			for _, v := range vals {
-				s += v
-			}
-			b.Aggs[a] = s
+			b.Aggs[a] = sum
 		case AggCount:
 			b.Aggs[a] = float64(len(vals))
 		case AggMedian:

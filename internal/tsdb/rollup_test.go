@@ -1,0 +1,434 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testRollups is the tier ladder used throughout: 1s/10s/1m, no tier
+// retention unless a test configures it.
+func testRollups() []RollupTier {
+	return []RollupTier{{Width: 1e9}, {Width: 10e9}, {Width: 60e9}}
+}
+
+// binDist returns how many histogram bins apart two values fall — the unit
+// in which rollup quantile error is specified.
+func binDist(a, b float64) int {
+	d := int(binOf(a)) - int(binOf(b))
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// TestRollupDashboardQueryServedFromTier is the acceptance shape: a 1-hour
+// range at 10s windows over rollup-enabled data must be served from a tier,
+// agree exactly with the raw path on count/min/max/sum (and mean), and put
+// quantiles within histogram-bin error of the raw answer.
+func TestRollupDashboardQueryServedFromTier(t *testing.T) {
+	db := Open(Options{Rollups: testRollups()})
+	rng := rand.New(rand.NewSource(7))
+	cities := []string{"Auckland", "Sydney"}
+	const hour = 3600e9
+	for i := 0; i < 72000; i++ { // 20 points/s for an hour
+		v := float64(100 + rng.Intn(200)) // integer-valued: sums stay exact
+		db.Write(pt("latency", int64(rng.Int63n(hour)),
+			map[string]string{"src_city": cities[i%2]},
+			map[string]float64{"total_ms": v}))
+	}
+	q := Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: hour, Window: 10e9, GroupBy: "src_city",
+		Aggs: []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean, AggMedian, AggP95, AggP99},
+	}
+	tiered, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Resolution = ResolutionRaw
+	raw, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiered) != 2 || len(raw) != 2 {
+		t.Fatalf("groups: tier=%d raw=%d", len(tiered), len(raw))
+	}
+	for g := range tiered {
+		if tiered[g].Tier != 10e9 {
+			t.Fatalf("group %q served from tier %d, want 10s tier", tiered[g].Group, tiered[g].Tier)
+		}
+		if raw[g].Tier != 0 {
+			t.Fatalf("raw path reported tier %d", raw[g].Tier)
+		}
+		if tiered[g].Group != raw[g].Group || len(tiered[g].Buckets) != 360 {
+			t.Fatalf("shape mismatch: %q/%q, %d buckets", tiered[g].Group, raw[g].Group, len(tiered[g].Buckets))
+		}
+		for i := range tiered[g].Buckets {
+			tb, rb := tiered[g].Buckets[i], raw[g].Buckets[i]
+			if tb.Start != rb.Start || tb.Count != rb.Count {
+				t.Fatalf("bucket %d: start/count %d/%d vs %d/%d", i, tb.Start, tb.Count, rb.Start, rb.Count)
+			}
+			for _, k := range []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean} {
+				if tb.Aggs[k] != rb.Aggs[k] {
+					t.Fatalf("bucket %d %s: tier %v raw %v", i, k, tb.Aggs[k], rb.Aggs[k])
+				}
+			}
+			for _, k := range []AggKind{AggMedian, AggP95, AggP99} {
+				if d := binDist(tb.Aggs[k], rb.Aggs[k]); d > 1 {
+					t.Fatalf("bucket %d %s: tier %v raw %v (%d bins apart)", i, k, tb.Aggs[k], rb.Aggs[k], d)
+				}
+			}
+		}
+	}
+}
+
+// TestRollupEquivalenceRandomized fuzzes the tier path against the raw path
+// over random data and random aligned query shapes: exact equality for
+// count/min/max/sum/mean (integer-valued samples keep float sums exact under
+// reordering), histogram-bin error for quantiles.
+func TestRollupEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		db := Open(Options{ShardDuration: 600e9, Rollups: testRollups()})
+		span := int64(600e9)
+		nSeries := 1 + rng.Intn(4)
+		for i := 0; i < 4000; i++ {
+			s := rng.Intn(nSeries)
+			db.Write(pt("m", rng.Int63n(span),
+				map[string]string{"city": fmt.Sprintf("c%d", s), "kind": fmt.Sprintf("k%d", s%2)},
+				map[string]float64{"v": float64(1 + rng.Intn(500))}))
+		}
+		// Random aligned query shape: window a multiple of a random tier.
+		widths := []int64{1e9, 10e9, 60e9}
+		w := widths[rng.Intn(len(widths))]
+		window := w * int64(1+rng.Intn(6))
+		start := w * rng.Int63n(4)
+		nb := int64(1 + rng.Intn(10))
+		q := Query{
+			Measurement: "m", Field: "v",
+			Start: start, End: start + nb*window, Window: window,
+			Aggs: []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean, AggMedian, AggP95},
+		}
+		if rng.Intn(2) == 0 {
+			q.GroupBy = "city"
+		}
+		if rng.Intn(3) == 0 {
+			q.Where = []Tag{{Key: "kind", Value: "k0"}}
+		}
+		tiered, err := db.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Resolution = ResolutionRaw
+		raw, err := db.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tiered) != len(raw) {
+			t.Fatalf("trial %d: %d vs %d groups", trial, len(tiered), len(raw))
+		}
+		for g := range tiered {
+			tg, rg := tiered[g], raw[g]
+			if tg.Group != rg.Group || tg.Tier == 0 {
+				t.Fatalf("trial %d: group %q tier %d (raw group %q)", trial, tg.Group, tg.Tier, rg.Group)
+			}
+			for i := range tg.Buckets {
+				tb, rb := tg.Buckets[i], rg.Buckets[i]
+				if tb.Count != rb.Count {
+					t.Fatalf("trial %d bucket %d: count %d vs %d", trial, i, tb.Count, rb.Count)
+				}
+				if tb.Count == 0 {
+					if !math.IsNaN(tb.Aggs[AggMean]) || tb.Aggs[AggSum] != 0 || tb.Aggs[AggCount] != 0 {
+						t.Fatalf("trial %d bucket %d: empty-bucket aggs %v", trial, i, tb.Aggs)
+					}
+					continue
+				}
+				for _, k := range []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean} {
+					if tb.Aggs[k] != rb.Aggs[k] {
+						t.Fatalf("trial %d bucket %d %s: %v vs %v", trial, i, k, tb.Aggs[k], rb.Aggs[k])
+					}
+				}
+				for _, k := range []AggKind{AggMedian, AggP95} {
+					if d := binDist(tb.Aggs[k], rb.Aggs[k]); d > 1 {
+						t.Fatalf("trial %d bucket %d %s: %v vs %v (%d bins)", trial, i, k, tb.Aggs[k], rb.Aggs[k], d)
+					}
+					if tb.Aggs[k] < rb.Aggs[AggMin] || tb.Aggs[k] > rb.Aggs[AggMax] {
+						t.Fatalf("trial %d bucket %d %s: %v outside [min,max]", trial, i, k, tb.Aggs[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRollupPlannerSelection pins the planner contract: coarsest aligned
+// tier wins, misalignment falls back to raw, and forced resolutions are
+// honored or rejected.
+func TestRollupPlannerSelection(t *testing.T) {
+	db := Open(Options{Rollups: testRollups()})
+	for i := 0; i < 1000; i++ {
+		db.Write(pt("m", int64(i)*600e6, nil, map[string]float64{"v": float64(i)}))
+	}
+	serve := func(q Query) (int64, error) {
+		res, err := db.Execute(q)
+		if err != nil {
+			return 0, err
+		}
+		if len(res) == 0 {
+			t.Fatalf("no groups for %+v", q)
+		}
+		return res[0].Tier, nil
+	}
+	base := Query{Measurement: "m", Field: "v", Aggs: []AggKind{AggCount}}
+
+	cases := []struct {
+		name    string
+		mutate  func(*Query)
+		want    int64
+		wantErr error
+	}{
+		{"1m window picks 1m tier", func(q *Query) { q.Start, q.End, q.Window = 0, 600e9, 60e9 }, 60e9, nil},
+		{"10s window picks 10s tier", func(q *Query) { q.Start, q.End, q.Window = 0, 600e9, 10e9 }, 10e9, nil},
+		{"90s window picks 10s tier (1m does not divide)", func(q *Query) { q.Start, q.End, q.Window = 0, 540e9, 90e9 }, 10e9, nil},
+		{"7s window picks 1s tier", func(q *Query) { q.Start, q.End, q.Window = 0, 7e9*20, 7e9 }, 1e9, nil},
+		{"sub-second window falls back to raw", func(q *Query) { q.Start, q.End, q.Window = 0, 60e9, 500e6 }, 0, nil},
+		{"misaligned start falls back to raw", func(q *Query) { q.Start, q.End, q.Window = 5e8, 600e9+5e8, 10e9 }, 0, nil},
+		{"misaligned end falls back to raw", func(q *Query) { q.Start, q.End, q.Window = 0, 595e9+5e8, 10e9 }, 0, nil},
+		{"whole-range single bucket uses coarsest tier", func(q *Query) { q.Start, q.End, q.Window = 0, 600e9, 0 }, 60e9, nil},
+		{"forced raw", func(q *Query) { q.Start, q.End, q.Window, q.Resolution = 0, 600e9, 60e9, ResolutionRaw }, 0, nil},
+		{"forced 1s tier", func(q *Query) { q.Start, q.End, q.Window, q.Resolution = 0, 600e9, 60e9, 1e9 }, 1e9, nil},
+		{"forced unknown width", func(q *Query) { q.Start, q.End, q.Window, q.Resolution = 0, 600e9, 60e9, 5e9 }, 0, ErrBadResolution},
+		{"forced misaligned tier", func(q *Query) { q.Start, q.End, q.Window, q.Resolution = 0, 600e9, 15e9, 10e9 }, 0, ErrBadResolution},
+		{"negative non-raw resolution", func(q *Query) { q.Start, q.End, q.Resolution = 0, 600e9, -2 }, 0, ErrBadResolution},
+	}
+	for _, c := range cases {
+		q := base
+		c.mutate(&q)
+		tier, err := serve(q)
+		if err != c.wantErr {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.wantErr)
+			continue
+		}
+		if err == nil && tier != c.want {
+			t.Errorf("%s: served from tier %d, want %d", c.name, tier, c.want)
+		}
+	}
+
+	// Forcing a tier on a DB without rollups is an error; raw is not.
+	plain := Open(Options{})
+	plain.Write(pt("m", 0, nil, map[string]float64{"v": 1}))
+	if _, err := plain.Execute(Query{Measurement: "m", Field: "v", End: 10e9, Resolution: 10e9}); err != ErrBadResolution {
+		t.Fatalf("forced tier without rollups: err = %v", err)
+	}
+	if _, err := plain.Execute(Query{Measurement: "m", Field: "v", End: 10e9, Resolution: ResolutionRaw}); err != nil {
+		t.Fatalf("forced raw without rollups: err = %v", err)
+	}
+}
+
+// TestRollupTierRetention exercises independent horizons: raw kept briefly,
+// the 1m tier kept much longer — the long-range query is answered by the
+// tier after raw storage has forgotten the data, and the tier itself is
+// purged once its own horizon passes.
+func TestRollupTierRetention(t *testing.T) {
+	db := Open(Options{
+		ShardDuration: 60e9,
+		Retention:     120e9, // raw: 2 minutes
+		Rollups: []RollupTier{
+			{Width: 1e9, Retention: 120e9},
+			{Width: 60e9, Retention: 3600e9}, // 1m tier: 1 hour
+		},
+	})
+	for i := 0; i < 600; i++ { // 10 minutes of data at 1/s
+		db.Write(pt("m", int64(i)*1e9, nil, map[string]float64{"v": 1}))
+	}
+	// Early range: raw is gone (retention 2m, newest point ~10m), the 1m
+	// tier still has it.
+	q := Query{Measurement: "m", Field: "v", Start: 0, End: 300e9, Window: 60e9,
+		Aggs: []AggKind{AggCount}}
+	res, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Tier != 60e9 {
+		t.Fatalf("res = %+v", res)
+	}
+	for i, b := range res[0].Buckets {
+		if b.Count != 60 {
+			t.Fatalf("tier bucket %d count = %d, want 60", i, b.Count)
+		}
+	}
+	q.Resolution = ResolutionRaw
+	res, err = db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawCount := 0
+	for _, r := range res {
+		for _, b := range r.Buckets {
+			rawCount += b.Count
+		}
+	}
+	if rawCount != 0 {
+		t.Fatalf("raw storage still holds %d expired points", rawCount)
+	}
+	// The auto planner must not hand the early range to the short-retention
+	// 1s tier (which, like raw, has forgotten it).
+	q = Query{Measurement: "m", Field: "v", Start: 0, End: 300e9, Window: 1e9,
+		Aggs: []AggKind{AggCount}}
+	res, err = db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 { // 1s tier is not eligible, raw has nothing
+		t.Fatalf("short-retention tier served expired range: %+v", res)
+	}
+	// Push maxT past the 1m tier's horizon: its old shards must be purged.
+	db.Write(pt("m", 4000e9, nil, map[string]float64{"v": 1}))
+	q = Query{Measurement: "m", Field: "v", Start: 0, End: 300e9, Window: 60e9,
+		Aggs: []AggKind{AggCount}}
+	res, err = db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range res {
+		for _, b := range r.Buckets {
+			total += b.Count
+		}
+	}
+	if total != 0 {
+		t.Fatalf("1m tier still holds %d samples past its horizon", total)
+	}
+}
+
+// TestRollupLateWriteSkipsExpiredTier pins the independent write-time
+// horizons: a straggler behind the raw horizon still reaches a coarse tier
+// that covers it, but not a tier whose own horizon has passed.
+func TestRollupLateWriteSkipsExpiredTier(t *testing.T) {
+	db := Open(Options{
+		ShardDuration: 60e9,
+		Retention:     60e9,
+		Rollups: []RollupTier{
+			{Width: 1e9, Retention: 60e9},
+			{Width: 60e9, Retention: 0},
+		},
+	})
+	db.Write(pt("m", 1000e9, nil, map[string]float64{"v": 1}))
+	// 900s behind maxT: outside raw and the 1s tier, inside the 1m tier.
+	db.Write(pt("m", 100e9, nil, map[string]float64{"v": 5}))
+	if w, d := db.WriteStats(); w != 1 || d != 1 {
+		t.Fatalf("written=%d dropped=%d", w, d)
+	}
+	res, err := db.Execute(Query{Measurement: "m", Field: "v",
+		Start: 60e9, End: 180e9, Window: 60e9, Resolution: 60e9,
+		Aggs: []AggKind{AggCount, AggSum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Buckets[0].Count != 1 || res[0].Buckets[0].Aggs[AggSum] != 5 {
+		t.Fatalf("1m tier missed the late write: %+v", res)
+	}
+	res, err = db.Execute(Query{Measurement: "m", Field: "v",
+		Start: 60e9, End: 180e9, Window: 60e9, Resolution: 1e9,
+		Aggs: []AggKind{AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		for _, b := range r.Buckets {
+			if b.Count != 0 {
+				t.Fatalf("1s tier accepted a write behind its horizon: %+v", res)
+			}
+		}
+	}
+}
+
+// TestHistogramBins pins the bin function invariants the quantile error
+// bound rests on.
+func TestHistogramBins(t *testing.T) {
+	if binOf(-5) != 0 || binOf(0) != 0 || binOf(histMin/2) != 0 {
+		t.Fatal("underflow values must land in bin 0")
+	}
+	if binOf(histMax) != histBins-1 || binOf(1e300) != histBins-1 {
+		t.Fatal("overflow values must land in the last bin")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64()*55 - 14) // ~1e-6 .. 1e17
+		b := binOf(v)
+		if b >= 1 && b <= histBins-2 {
+			if v < histBounds[b] || (b+1 < histBins && v >= histBounds[b+1]) {
+				t.Fatalf("v=%g in bin %d bounds [%g,%g)", v, b, histBounds[b], histBounds[b+1])
+			}
+		}
+	}
+	// Exact bucket boundaries must not be mis-binned by rounding.
+	for i := 1; i < histBins-1; i++ {
+		if b := binOf(histBounds[i]); int(b) != i {
+			t.Fatalf("boundary %g binned to %d, want %d", histBounds[i], b, i)
+		}
+	}
+}
+
+// BenchmarkExecuteRollup is the tentpole's performance claim: the dashboard
+// query shape (1h range, 10s windows) served from the 10s tier versus
+// re-scanning raw samples. The target is ≥10× fewer ns/query for the tier.
+func BenchmarkExecuteRollup(b *testing.B) {
+	db := Open(Options{Rollups: testRollups()})
+	rng := rand.New(rand.NewSource(1))
+	cities := []string{"Auckland", "Sydney", "Tokyo"}
+	const hour = 3600e9
+	for i := 0; i < 360000; i++ { // 100 points/s for an hour
+		db.Write(pt("latency", int64(rng.Int63n(hour)),
+			map[string]string{"src_city": cities[i%len(cities)]},
+			map[string]float64{"total_ms": 100 + rng.Float64()*200}))
+	}
+	q := Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: hour, Window: 10e9, GroupBy: "src_city",
+		Aggs: []AggKind{AggCount, AggMean, AggP95, AggP99},
+	}
+	b.Run("raw", func(b *testing.B) {
+		qq := q
+		qq.Resolution = ResolutionRaw
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Execute(qq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tier", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Execute(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res[0].Tier != 10e9 {
+				b.Fatalf("served from tier %d", res[0].Tier)
+			}
+		}
+	})
+}
+
+// BenchmarkWriteRollup measures the write-amplification cost of feeding
+// three tiers on every write, against the raw-only write path.
+func BenchmarkWriteRollup(b *testing.B) {
+	for _, tiers := range []struct {
+		name string
+		r    []RollupTier
+	}{{"raw-only", nil}, {"3-tiers", testRollups()}} {
+		b.Run(tiers.name, func(b *testing.B) {
+			db := Open(Options{Rollups: tiers.r})
+			tags := map[string]string{"src_city": "Auckland", "dst_city": "Los Angeles"}
+			fields := map[string]float64{"internal_ms": 15, "external_ms": 130, "total_ms": 145}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db.Write(pt("latency", int64(i)*1e6, tags, fields))
+			}
+		})
+	}
+}

@@ -18,6 +18,12 @@ import (
 // sequential and WriteBatch applies a batch stripe by stripe, a batch
 // racing the acquisition phase can appear partially in the dump — same
 // per-stripe (not per-batch) consistency WriteBatch itself documents.
+//
+// Rollup tiers are derived data and are NOT serialized: Restore rebuilds
+// them from the raw points it replays. Consequently a snapshot taken with
+// short raw retention cannot reconstruct the long history a coarse tier
+// held — only the raw points still inside the retention horizon survive a
+// snapshot/restore round trip.
 func (db *DB) Snapshot(w io.Writer) (points int64, err error) {
 	starts := map[int64]struct{}{}
 	for _, st := range db.stripes {

@@ -4,14 +4,18 @@
 // time interval"), the live-map WebSocket endpoint and arc feed, pipeline
 // counters, and anomaly events.
 //
-// Endpoints:
+// Endpoints (full reference with parameters, defaults, error codes and
+// example requests in docs/API.md):
 //
-//	GET /api/stats      — pipeline counters (JSON)
-//	GET /api/query      — windowed aggregates from the TSDB
-//	GET /api/tags       — distinct tag values for dashboard pickers
-//	GET /api/arcs       — recent arcs for the 3D map (JSON)
-//	GET /api/anomalies  — latency-spike and surge events
-//	GET /ws             — WebSocket live measurement feed
+//	GET  /api/stats      — pipeline counters (JSON)
+//	GET  /api/query      — windowed aggregates from the TSDB; the
+//	                       resolution parameter selects raw vs rollup tiers
+//	GET  /api/tags       — distinct tag values for dashboard pickers
+//	GET  /api/arcs       — recent arcs for the 3D map (JSON)
+//	GET  /api/anomalies  — latency-spike, SYN-flood and surge events
+//	POST /write          — Influx line-protocol ingest
+//	GET  /snapshot       — full TSDB dump as line protocol
+//	GET  /ws             — WebSocket live measurement feed (JSON arrays)
 package web
 
 import (
@@ -21,6 +25,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ruru/internal/anomaly"
 	"ruru/internal/ruru"
@@ -78,6 +83,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleQuery: /api/query?measurement=latency&field=total_ms&start=0&end=1e12
 //
 //	&window=1e9&group_by=src_city&agg=mean,median&where=src_city:Auckland
+//	&resolution=auto|raw|<duration>
+//
+// Parameter semantics and defaults are specified in docs/API.md; the
+// parsing tests in web_test.go assert the two stay in sync.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	query := tsdb.Query{
@@ -102,6 +111,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if query.Window, err = parseInt(q.Get("window"), 0); err != nil {
 		httpError(w, http.StatusBadRequest, "bad window")
+		return
+	}
+	if query.Resolution, err = parseResolution(q.Get("resolution")); err != nil {
+		httpError(w, http.StatusBadRequest, "bad resolution")
 		return
 	}
 	for _, agg := range strings.Split(q.Get("agg"), ",") {
@@ -226,6 +239,29 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseResolution maps the query parameter onto tsdb.Query.Resolution:
+// ""/"auto" let the planner choose, "raw" forces the raw path, and
+// anything else is a tier bucket width — a Go duration ("10s") or a
+// nanosecond count ("1e10", "10000000000"), which must be positive.
+func parseResolution(s string) (int64, error) {
+	switch s {
+	case "", "auto":
+		return tsdb.ResolutionAuto, nil
+	case "raw":
+		return tsdb.ResolutionRaw, nil
+	}
+	n := int64(0)
+	if d, err := time.ParseDuration(s); err == nil {
+		n = d.Nanoseconds()
+	} else if n, err = parseInt(s, 0); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("web: non-positive resolution %q", s)
+	}
+	return n, nil
 }
 
 func parseInt(s string, def int64) (int64, error) {

@@ -2,6 +2,7 @@ package web
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -95,19 +96,169 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
-func TestQueryEndpointValidation(t *testing.T) {
-	_, srv := newServer(t)
-	for _, u := range []string{
-		"/api/query",                      // missing end
-		"/api/query?start=10&end=5",       // inverted
-		"/api/query?end=10&agg=bogus",     // unknown agg
-		"/api/query?end=10&where=nocolon", // bad where
-		"/api/query?end=abc",              // unparseable
-	} {
-		resp := getJSON(t, srv.URL+u, nil)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d", u, resp.StatusCode)
-		}
+// TestQueryParamParsing is the table-driven contract for handleQuery's
+// parameter parsing: accepted forms, applied defaults, and rejections.
+// The semantics asserted here are the ones documented in docs/API.md —
+// change one, change both.
+func TestQueryParamParsing(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 100) // times 0..99s, src_city=Auckland, total_ms≈140-160
+
+	cases := []struct {
+		name   string
+		query  string
+		status int
+		// check runs against the decoded result for 200 responses.
+		check func(t *testing.T, res []tsdb.SeriesResult)
+	}{
+		{"missing end rejected (end defaults to 0, <= start)", "", http.StatusBadRequest, nil},
+		{"inverted range rejected", "start=10&end=5", http.StatusBadRequest, nil},
+		{"equal start/end rejected", "start=10&end=10", http.StatusBadRequest, nil},
+		{"unparseable start", "start=abc&end=10", http.StatusBadRequest, nil},
+		{"unparseable end", "end=abc", http.StatusBadRequest, nil},
+		{"unparseable window", "end=10&window=abc", http.StatusBadRequest, nil},
+		{"unknown agg", "end=10&agg=bogus", http.StatusBadRequest, nil},
+		{"where without colon", "end=10&where=nocolon", http.StatusBadRequest, nil},
+		{"bad resolution", "end=10&resolution=abc", http.StatusBadRequest, nil},
+		{"zero resolution", "end=10&resolution=0s", http.StatusBadRequest, nil},
+		{"negative resolution", "end=10&resolution=-10s", http.StatusBadRequest, nil},
+		{"resolution names no tier", "end=1e12&resolution=10s", http.StatusBadRequest, nil},
+		{"scientific-notation bounds accepted", "start=0&end=1e12", http.StatusOK, nil},
+		{"defaults: measurement latency, field total_ms, window whole range, agg mean",
+			"end=1e12", http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if len(res) != 1 || len(res[0].Buckets) != 1 {
+					t.Fatalf("res = %+v", res)
+				}
+				b := res[0].Buckets[0]
+				if b.Count != 100 {
+					t.Fatalf("default measurement/field missed the data: %+v", b)
+				}
+				if len(b.Aggs) != 1 || b.Aggs[tsdb.AggMean] < 140 || b.Aggs[tsdb.AggMean] > 160 {
+					t.Fatalf("default agg: %+v", b.Aggs)
+				}
+			}},
+		{"start defaults to 0", "end=50e9&agg=count", http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if res[0].Buckets[0].Count != 50 {
+					t.Fatalf("count = %d, want the first 50 samples", res[0].Buckets[0].Count)
+				}
+			}},
+		{"window splits the range", "end=100e9&window=10e9&agg=count", http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if len(res[0].Buckets) != 10 || res[0].Buckets[0].Count != 10 {
+					t.Fatalf("buckets = %+v", res[0].Buckets)
+				}
+			}},
+		{"agg list with spaces and empties", "end=1e12&agg=count,,%20mean", http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if len(res[0].Buckets[0].Aggs) != 2 {
+					t.Fatalf("aggs = %+v", res[0].Buckets[0].Aggs)
+				}
+			}},
+		{"resolution raw accepted without rollups", "end=1e12&resolution=raw", http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if res[0].Tier != 0 {
+					t.Fatalf("tier = %d", res[0].Tier)
+				}
+			}},
+		{"resolution auto accepted without rollups", "end=1e12&resolution=auto", http.StatusOK, nil},
+		{"repeated where clauses ANDed", "end=1e12&agg=count&where=src_city:Auckland&where=dst_city:Nowhere",
+			http.StatusOK,
+			func(t *testing.T, res []tsdb.SeriesResult) {
+				if len(res) != 0 {
+					t.Fatalf("conflicting filters matched: %+v", res)
+				}
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := srv.URL + "/api/query?" + c.query
+			if c.status != http.StatusOK {
+				resp := getJSON(t, u, nil)
+				if resp.StatusCode != c.status {
+					t.Fatalf("status %d, want %d", resp.StatusCode, c.status)
+				}
+				return
+			}
+			var res []tsdb.SeriesResult
+			if resp := getJSON(t, u, &res); resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			if c.check != nil {
+				c.check(t, res)
+			}
+		})
+	}
+}
+
+// TestQueryEmptyBucketsSerializeNull pins the docs/API.md claim that an
+// empty bucket's value aggregations arrive as JSON null: tsdb represents
+// them as NaN, which encoding/json cannot emit — without Bucket's custom
+// marshalling the whole response would silently truncate to an empty 200.
+func TestQueryEmptyBucketsSerializeNull(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 5) // samples at 0..4s; buckets past 5s are empty
+	resp, err := http.Get(srv.URL + "/api/query?end=20e9&window=10e9&agg=count,mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || body.Len() == 0 {
+		t.Fatalf("status %d, %d-byte body", resp.StatusCode, body.Len())
+	}
+	if !strings.Contains(body.String(), `"mean":null`) {
+		t.Fatalf("empty bucket's mean not null: %s", body.String())
+	}
+	var res []tsdb.SeriesResult
+	if err := json.Unmarshal([]byte(body.String()), &res); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	if res[0].Buckets[1].Count != 0 || res[0].Buckets[1].Aggs[tsdb.AggCount] != 0 {
+		t.Fatalf("empty bucket: %+v", res[0].Buckets[1])
+	}
+}
+
+// TestQueryResolutionParam runs the resolution parameter against a
+// rollup-enabled pipeline: auto planning, tier reporting, forcing a tier,
+// and forcing raw.
+func TestQueryResolutionParam(t *testing.T) {
+	w, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ruru.New(ruru.Config{GeoDB: w.DB(), Rollups: tsdb.DefaultRollups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(func() { srv.Close(); p.Close() })
+	feedSamples(p, 100)
+
+	var res []tsdb.SeriesResult
+	base := srv.URL + "/api/query?start=0&end=100e9&window=10e9&agg=count,p95"
+	getJSON(t, base, &res)
+	if len(res) != 1 || res[0].Tier != 10e9 {
+		t.Fatalf("auto: %+v", res)
+	}
+	getJSON(t, base+"&resolution=1s", &res)
+	if res[0].Tier != 1e9 {
+		t.Fatalf("forced 1s: tier = %d", res[0].Tier)
+	}
+	getJSON(t, base+"&resolution=raw", &res)
+	if res[0].Tier != 0 {
+		t.Fatalf("forced raw: tier = %d", res[0].Tier)
+	}
+	if c := res[0].Buckets[0].Count; c != 10 {
+		t.Fatalf("raw count = %d", c)
+	}
+	// A width that names no tier is a 400 (ErrBadResolution).
+	if resp := getJSON(t, base+"&resolution=5s", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tier width: status %d", resp.StatusCode)
 	}
 }
 
