@@ -8,6 +8,7 @@ package ruru_bench
 import (
 	"io"
 	"net/netip"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -276,6 +277,59 @@ func BenchmarkDBWriteBatch(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkWriteWAL prices the durability tentpole: one 64-point batched
+// write in-memory versus WAL-logged under each fsync policy. The
+// mem→interval ratio is the acceptance number (≤15% overhead at the
+// production default); "always" pays a real fsync per op when a single
+// goroutine can't group-commit, and is here to make that cost visible
+// rather than to win.
+func BenchmarkWriteWAL(b *testing.B) {
+	const batchLen = 64
+	for _, mode := range []string{"mem", "wal-off", "wal-interval", "wal-always"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := tsdb.Options{}
+			if mode != "mem" {
+				opts.Persist = &tsdb.PersistOptions{
+					Dir:   b.TempDir(),
+					Fsync: tsdb.FsyncPolicy(strings.TrimPrefix(mode, "wal-")),
+					// Manual checkpoints only: the ticker would add noise.
+					CheckpointEvery: -1,
+				}
+			}
+			db, err := tsdb.OpenDB(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			batch := make([]tsdb.Point, batchLen)
+			var t int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					t += 1e6
+					batch[j] = tsdb.Point{
+						Name: "latency",
+						Tags: []tsdb.Tag{
+							{Key: "src_city", Value: "Auckland"},
+							{Key: "dst_city", Value: "Los Angeles"},
+						},
+						Fields: []tsdb.Field{
+							{Key: "internal_ms", Value: 15},
+							{Key: "external_ms", Value: 130},
+							{Key: "total_ms", Value: 145},
+						},
+						Time: t,
+					}
+				}
+				if _, err := db.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all
+//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all
 //
 // Scale flags let CI run reduced versions; defaults reproduce the numbers
 // recorded in EXPERIMENTS.md.
@@ -24,7 +24,7 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -105,6 +105,11 @@ func main() {
 				Seed: *seed, Points: int(360_000 * scale),
 			}, w)
 			return err
+		case "e13":
+			_, err := experiments.E13(experiments.E13Config{
+				Seed: *seed, Points: int(200_000 * scale),
+			}, w)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -112,7 +117,7 @@ func main() {
 
 	ids := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 	}
 	for i, id := range ids {
 		if i > 0 {

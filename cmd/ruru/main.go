@@ -50,12 +50,38 @@ func main() {
 		sinkBatch  = flag.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
 		dbStripes  = flag.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
 		rollup     = flag.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
+		dataDir    = flag.String("data-dir", "", "durable TSDB storage in this directory (WAL + checkpoints, restored on start); empty = in-memory")
+		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
+		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "automatic checkpoint + WAL-truncate period with -data-dir (0 = manual only, via POST /api/checkpoint)")
+		walSegMax  = flag.Int64("wal-segment-bytes", 0, "max WAL segment file size with -data-dir (0 = 64MiB default)")
 	)
 	flag.Parse()
 
 	rollups, err := parseRollups(*rollup)
 	if err != nil {
 		log.Fatalf("bad -rollup: %v", err)
+	}
+
+	var fsync tsdb.FsyncPolicy
+	switch *fsyncMode {
+	case "always":
+		fsync = tsdb.FsyncAlways
+	case "interval":
+		fsync = tsdb.FsyncInterval
+	case "off":
+		fsync = tsdb.FsyncOff
+	default:
+		log.Fatalf("unknown -fsync %q (want always, interval or off)", *fsyncMode)
+	}
+	persist := tsdb.PersistOptions{}
+	if *dataDir != "" {
+		persist = tsdb.PersistOptions{
+			Dir: *dataDir, Fsync: fsync,
+			CheckpointEvery: *ckptEvery, MaxSegmentBytes: *walSegMax,
+		}
+		if *ckptEvery == 0 {
+			persist.CheckpointEvery = -1 // flag 0 means "manual only"
+		}
 	}
 
 	var policy nic.OverflowPolicy
@@ -84,11 +110,25 @@ func main() {
 		SinkBatch:       *sinkBatch,
 		DBStripes:       *dbStripes,
 		Rollups:         rollups,
+		Persist:         persist,
 	})
 	if err != nil {
 		log.Fatalf("assembling pipeline: %v", err)
 	}
-	defer p.Close()
+	defer func() {
+		if err := p.Close(); err != nil {
+			log.Printf("ruru: close: %v", err)
+		}
+	}()
+	if *dataDir != "" {
+		ps := p.DB.PersistStats()
+		torn := ""
+		if ps.ReplayTornTail {
+			torn = " (torn WAL tail discarded — expected after a crash)"
+		}
+		log.Printf("ruru: durable storage in %s (fsync=%s): restored %d points from checkpoint, replayed %d from WAL%s",
+			*dataDir, ps.Fsync, ps.RestoredPoints, ps.WALReplayedPoints, torn)
+	}
 	if *snapshot != "" {
 		defer func() {
 			f, err := os.Create(*snapshot)
@@ -96,10 +136,18 @@ func main() {
 				log.Printf("snapshot: %v", err)
 				return
 			}
-			defer f.Close()
 			n, err := p.DB.Snapshot(f)
+			// Report EVERY failure mode: a snapshot whose fsync or close
+			// failed may be incomplete on disk, and silently trusting it
+			// defeats the point of dumping state at shutdown.
+			if err == nil {
+				err = f.Sync()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
-				log.Printf("snapshot: %v", err)
+				log.Printf("snapshot: %s may be incomplete: %v", *snapshot, err)
 				return
 			}
 			log.Printf("ruru: snapshot of %d points written to %s", n, *snapshot)

@@ -307,3 +307,28 @@ func TestE12RollupQuery(t *testing.T) {
 		t.Fatalf("latencies not measured: %+v", res)
 	}
 }
+
+func TestE13Durability(t *testing.T) {
+	res, err := E13(E13Config{Seed: 1, Points: 30000}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must be lossless and duplicate-free (checkpoint + WAL tail
+	// sum to exactly the written points), bit-equal on the exact
+	// aggregates, and the rollup tiers must be rebuilt by replay.
+	if !res.RecoverOK {
+		t.Fatalf("recovered %d+%d of %d points", res.Restored, res.Replayed, res.Points)
+	}
+	if res.Restored == 0 || res.Replayed == 0 {
+		t.Fatalf("recovery exercised only one path: %d restored, %d replayed", res.Restored, res.Replayed)
+	}
+	if !res.ExactAggs {
+		t.Fatal("post-restart raw query diverged from pre-restart state")
+	}
+	if !res.TierRebuilt {
+		t.Fatal("rollup tiers not rebuilt (or diverged) after restart")
+	}
+	if res.MemRate <= 0 || res.WALOffRate <= 0 || res.WALIntRate <= 0 {
+		t.Fatalf("rates not measured: %+v", res)
+	}
+}

@@ -96,6 +96,14 @@ type Config struct {
 	// Nil disables rollups; tsdb.DefaultRollups() gives the standard
 	// 1s/10s/1m ladder.
 	Rollups []tsdb.RollupTier
+	// Persist enables durable TSDB storage when Persist.Dir is non-empty:
+	// measurements are written through a WAL, checkpointed periodically,
+	// and restored (checkpoint + WAL replay, rollup tiers rebuilt) the
+	// next time a pipeline opens the same directory. New fails if the
+	// directory is locked by another live process. Zero value keeps the
+	// TSDB in-memory. See tsdb.PersistOptions for the fsync/checkpoint
+	// knobs and docs/OPERATIONS.md for tuning guidance.
+	Persist tsdb.PersistOptions
 
 	// HubQueue is the per-WebSocket-client queue depth (default 256).
 	HubQueue int
@@ -253,10 +261,18 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.DB = tsdb.Open(tsdb.Options{
+	var persist *tsdb.PersistOptions
+	if cfg.Persist.Dir != "" {
+		pp := cfg.Persist
+		persist = &pp
+	}
+	p.DB, err = tsdb.OpenDB(tsdb.Options{
 		ShardDuration: cfg.ShardDuration, Retention: cfg.Retention,
-		Stripes: cfg.DBStripes, Rollups: cfg.Rollups,
+		Stripes: cfg.DBStripes, Rollups: cfg.Rollups, Persist: persist,
 	})
+	if err != nil {
+		return nil, err
+	}
 	p.Hub = ws.NewHub(cfg.HubQueue)
 	p.sinkShards = make([]*sinkShard, cfg.SinkWorkers)
 	for i := range p.sinkShards {
@@ -397,11 +413,16 @@ type Stats struct {
 	// high-water mark — the collector-can't-keep-up signal (previously
 	// never surfaced).
 	SinkDrop uint64
-	// DBWriteErrors counts measurements whose TSDB write failed (only a
-	// Close racing a sink worker can cause this; counted so even the
-	// shutdown race is not silent).
+	// DBWriteErrors counts measurements whose TSDB write failed: a Close
+	// racing a sink worker, or — on a persistent pipeline — a WAL append
+	// failure (full disk) refusing the write. Counted so neither loss
+	// class is silent.
 	DBWriteErrors uint64
 	TSSamples     uint64 // continuous RTT samples (when TrackTimestamps)
+	// Persist reports the TSDB durability counters (WAL appends/fsyncs,
+	// what the last restart recovered, checkpoint age). Zero value with
+	// Enabled=false when Config.Persist is unset.
+	Persist tsdb.PersistStats
 }
 
 // Stats snapshots every stage.
@@ -428,12 +449,15 @@ func (p *Pipeline) Stats() Stats {
 		SinkDrop:         p.sinkSub.Dropped(),
 		DBWriteErrors:    p.sinkWriteErrors.Load(),
 		TSSamples:        p.tsSamples.Load(),
+		Persist:          p.DB.PersistStats(),
 	}
 }
 
-// Close releases resources (bus, hub, DB).
-func (p *Pipeline) Close() {
+// Close releases resources (bus, hub, DB). On a persistent pipeline the
+// DB close flushes and fsyncs the WAL so a clean shutdown loses nothing;
+// the returned error is that close's first failure (nil in-memory).
+func (p *Pipeline) Close() error {
 	p.Bus.Close()
 	p.Hub.Close()
-	p.DB.Close()
+	return p.DB.Close()
 }

@@ -28,6 +28,11 @@ type Options struct {
 	// rollup.go). Nil disables rollups. Open sorts the tiers finest-first
 	// and drops invalid (non-positive width) or duplicate-width entries.
 	Rollups []RollupTier
+	// Persist enables durable storage (write-ahead log + checkpointed
+	// snapshots under Persist.Dir, restored on open — see persist.go).
+	// Requires OpenDB: enabling persistence can fail with I/O errors that
+	// the error-free Open cannot report. Nil keeps the DB in-memory.
+	Persist *PersistOptions
 }
 
 // DB is the time-series database. Safe for concurrent use. Writes to
@@ -50,6 +55,17 @@ type DB struct {
 	closed     atomic.Bool
 	written    atomic.Uint64
 	dropped    atomic.Uint64 // points dropped by retention at write time
+
+	// Durability (nil / uncontended on in-memory databases). Writers hold
+	// commitMu.RLock from their WAL append through their in-memory apply;
+	// Checkpoint takes it exclusively for the instant of the WAL rotation
+	// so the checkpoint cut is exact: state == every record below the
+	// rotated-to segment. Lock order is commitMu, then stripe mu.
+	persist  *persister
+	commitMu sync.RWMutex
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // stripe is one lock-striped partition: a full shard map for the series
@@ -79,8 +95,25 @@ type series struct {
 	fields map[string][]float64
 }
 
-// Open creates an empty DB.
+// Open creates an empty in-memory DB. It panics if opts.Persist is set:
+// persistence performs I/O that can fail, which only OpenDB can report.
 func Open(opts Options) *DB {
+	if opts.Persist != nil {
+		panic("tsdb: Options.Persist requires OpenDB")
+	}
+	db, _ := OpenDB(opts)
+	return db
+}
+
+// OpenDB creates a DB. With opts.Persist set it owns the data directory
+// (refusing a second opener via the lockfile), restores the newest
+// checkpoint, replays the WAL tail through the normal write path —
+// rebuilding rollup tiers and re-applying retention — and then logs every
+// subsequent Write/WriteBatch ahead of applying it. A torn final WAL
+// record (crash mid-append) is tolerated and reported in PersistStats;
+// corruption anywhere earlier fails the open. Without Persist it is
+// identical to Open.
+func OpenDB(opts Options) (*DB, error) {
 	if opts.ShardDuration <= 0 {
 		opts.ShardDuration = int64(3600) * 1e9
 	}
@@ -110,7 +143,15 @@ func Open(opts Options) *DB {
 		}
 		db.stripes[i] = st
 	}
-	return db
+	if opts.Persist != nil {
+		// openPersist restores + replays with db.persist still nil (so
+		// recovery writes do not re-log themselves), then arms db.persist
+		// before starting the flusher/checkpointer goroutines.
+		if err := openPersist(db, *opts.Persist); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // stripeIndex hashes a series key onto its stripe.
@@ -138,7 +179,10 @@ func (db *DB) advanceMaxT(t int64) int64 {
 }
 
 // Write stores one point. Tags are sorted in place. Points older than the
-// retention horizon are dropped.
+// retention horizon are dropped. On a persistent DB the point is logged to
+// the WAL before it is applied (fsync per Options.Persist.Fsync); a WAL
+// append failure fails the write, so recoverable state never runs behind
+// what queries can see.
 func (db *DB) Write(p *Point) error {
 	if len(p.Fields) == 0 {
 		return ErrNoFields
@@ -150,6 +194,19 @@ func (db *DB) Write(p *Point) error {
 		return ErrClosedDB
 	}
 	sortTags(p.Tags)
+	if pr := db.persist; pr != nil {
+		// Hold commitMu.RLock from the WAL append through the in-memory
+		// apply: the checkpoint cut depends on no write being between the
+		// two when it rotates the log.
+		db.commitMu.RLock()
+		defer db.commitMu.RUnlock()
+		if db.closed.Load() {
+			return ErrClosedDB
+		}
+		if err := pr.logPoint(p); err != nil {
+			return err
+		}
+	}
 	key := seriesKey(p.Name, p.Tags)
 	maxT := db.advanceMaxT(p.Time)
 	db.maybeSweepAll(maxT)
@@ -191,6 +248,19 @@ func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
 		sids[i] = stripeIndex(keys[i]) & db.mask
 		if p.Time > batchMax {
 			batchMax = p.Time
+		}
+	}
+	if pr := db.persist; pr != nil {
+		// One WAL record (and, under FsyncAlways, at most one group-
+		// committed fsync) for the whole batch — held through the apply,
+		// as in Write.
+		db.commitMu.RLock()
+		defer db.commitMu.RUnlock()
+		if db.closed.Load() {
+			return 0, ErrClosedDB
+		}
+		if err := pr.logBatch(pts); err != nil {
+			return 0, err
 		}
 	}
 	maxT := db.advanceMaxT(batchMax)
@@ -401,13 +471,32 @@ func (db *DB) TagValues(key string, start, end int64) []string {
 
 // Close marks the DB closed; subsequent writes fail. Taking every stripe
 // lock once acts as a barrier: writes in flight finish, later ones fail.
-func (db *DB) Close() {
+// On a persistent DB it then stops the background flusher/checkpointer,
+// flushes and fsyncs the WAL (so a clean shutdown loses nothing regardless
+// of fsync policy) and releases the data-directory lock; the returned
+// error is the first failure in that sequence (always nil in-memory).
+// Close is idempotent: repeated calls return the first call's result.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() { db.closeErr = db.doClose() })
+	return db.closeErr
+}
+
+func (db *DB) doClose() error {
 	db.closed.Store(true)
+	// Barrier for persistent writers between WAL append and apply…
+	db.commitMu.Lock()
+	//lint:ignore SA2001 empty critical section is the barrier
+	db.commitMu.Unlock()
+	// …and for everything already applying under a stripe lock.
 	for _, st := range db.stripes {
 		st.mu.Lock()
 		//lint:ignore SA2001 empty critical section is the barrier
 		st.mu.Unlock()
 	}
+	if db.persist != nil {
+		return db.persist.close()
+	}
+	return nil
 }
 
 func floorDiv(a, b int64) int64 {

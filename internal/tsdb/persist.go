@@ -1,0 +1,552 @@
+package tsdb
+
+// Durable storage: checkpointed snapshots + WAL replay (wal.go holds the
+// log itself). The paper delegates long-term storage to InfluxDB; this
+// subsystem gives the embedded TSDB the same crash-safety contract without
+// leaving the process.
+//
+// Disk layout under PersistOptions.Dir:
+//
+//	LOCK                      flock'd while a DB owns the directory
+//	wal/00000001.wal ...      CRC-framed append log, one record per
+//	                          Write/WriteBatch (dictionary-compressed
+//	                          binary encoding — see wal.go)
+//	checkpoint/00000007.ckpt  atomic full snapshot (line protocol); the
+//	                          number is the first WAL segment NOT covered,
+//	                          i.e. where replay must start
+//
+// Write path (WAL-first): a Write/WriteBatch appends its record to the log
+// under commitMu.RLock, then applies to the in-memory stripes — so every
+// point visible to queries is (per the fsync policy) also on disk, and a
+// record whose apply was cut short by a crash is simply replayed.
+//
+// Checkpoint cycle (Checkpoint, run every CheckpointEvery and on demand):
+//
+//  1. take commitMu exclusively — no commit is between its WAL append and
+//     its in-memory apply;
+//  2. rotate the WAL: records committed so far live in segments < newSeg,
+//     records committed later in segments >= newSeg;
+//  3. grab every stripe's read lock, then release commitMu — writers may
+//     resume appending (their records are >= newSeg) but cannot touch a
+//     stripe that has not been staged yet;
+//  4. stage each stripe's dump into memory, releasing its lock the moment
+//     the copy is done — a writer stalls only for the memory-speed copy
+//     of the stripe it targets, never behind file I/O — then write the
+//     staged dump to checkpoint/<newSeg>.ckpt.tmp lock-free;
+//  5. fsync + rename the temp file (atomic: a crash leaves either the old
+//     checkpoint or the new one, never a partial), fsync the directory;
+//  6. delete older checkpoints and WAL segments < newSeg.
+//
+// The dump is therefore an exact cut of the state at rotation time:
+// restore-on-start loads the newest checkpoint and replays exactly the
+// segments >= its number, so no point is lost or double-counted. Replay
+// runs through the normal write path before the WAL is re-armed, which
+// rebuilds every rollup tier and re-applies retention as a side effect —
+// tiers are derived data and are never serialized.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// PersistOptions enables durable storage for a DB opened with OpenDB.
+type PersistOptions struct {
+	// Dir is the data directory (created if absent). A lockfile refuses a
+	// second concurrent open of the same directory.
+	Dir string
+	// Fsync selects the WAL durability policy: FsyncInterval (default),
+	// FsyncAlways or FsyncOff. See the policy constants for the exact
+	// data-loss window each buys.
+	Fsync FsyncPolicy
+	// FsyncInterval is the background fsync period under FsyncInterval
+	// (default 100ms). It bounds the committed-data loss window of a
+	// power failure.
+	FsyncInterval time.Duration
+	// CheckpointEvery is the automatic checkpoint period (default 1m;
+	// negative disables automation — checkpoints then happen only via
+	// DB.Checkpoint, e.g. POST /api/checkpoint). Each checkpoint bounds
+	// restart replay work and truncates the WAL behind itself.
+	CheckpointEvery time.Duration
+	// MaxSegmentBytes caps one WAL segment file (default 64 MiB).
+	MaxSegmentBytes int64
+}
+
+// ErrNoPersist reports a durability operation on an in-memory DB.
+var ErrNoPersist = errors.New("tsdb: persistence not enabled")
+
+// ErrDirLocked reports a data directory already owned by a live process.
+var ErrDirLocked = errors.New("tsdb: data directory locked")
+
+const (
+	ckptDirName = "checkpoint"
+	ckptSuffix  = ".ckpt"
+	lockName    = "LOCK"
+)
+
+// persister is a DB's durability state; nil on in-memory databases. It is
+// armed (assigned to db.persist) only after restore+replay finish, so
+// recovery writes never re-log themselves.
+type persister struct {
+	opts PersistOptions
+	lock *os.File
+	wal  *wal
+
+	ckptMu sync.Mutex // one checkpoint at a time
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	restoredPoints  atomic.Uint64
+	replayedPoints  atomic.Uint64
+	replayedRecords atomic.Uint64
+	tornTail        atomic.Bool
+
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+	lastCkptSeg      atomic.Uint64
+	lastCkptUnixNs   atomic.Int64
+}
+
+// PersistStats is a snapshot of the durability counters — the recovery
+// side of the Stats story (how much the WAL has absorbed, what the last
+// restart recovered, how stale the newest checkpoint is).
+type PersistStats struct {
+	Enabled bool        `json:",omitempty"`
+	Dir     string      `json:",omitempty"`
+	Fsync   FsyncPolicy `json:",omitempty"`
+	// WALAppends counts records (one per Write/WriteBatch) appended this
+	// run. WALAppendErrors counts WAL I/O failures: appends that failed
+	// (each one failed the write that requested it) and flush/sync errors
+	// around rotation, after which records acknowledged during the
+	// preceding unsynced window may be missing from the log even though
+	// the write path has recovered onto a fresh segment. Non-zero means
+	// durability is degraded — alert on it (see docs/OPERATIONS.md).
+	// WALFsyncs counts fsync cycles (group commit makes this much smaller
+	// than WALAppends under FsyncAlways with concurrent writers).
+	WALAppends      uint64
+	WALAppendErrors uint64
+	WALFsyncs       uint64
+	// WALSegment is the segment currently appended to.
+	WALSegment uint64
+	// RestoredPoints / WALReplayedPoints say what the last open recovered:
+	// points loaded from the checkpoint and points replayed from the WAL
+	// tail (WALReplayedRecords batches). ReplayTornTail reports that the
+	// final record was torn — the expected shape of a crash mid-append —
+	// and was discarded.
+	RestoredPoints     uint64
+	WALReplayedPoints  uint64
+	WALReplayedRecords uint64
+	ReplayTornTail     bool
+	// Checkpoint health: count, failures, the WAL segment the newest
+	// checkpoint covers up to, and its age (-1 before the first one).
+	Checkpoints       uint64
+	CheckpointErrors  uint64
+	LastCheckpointSeg uint64
+	CheckpointAgeNs   int64
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	// WALSegment is the first segment NOT covered: replay-on-start begins
+	// there. Segments below it were truncated.
+	WALSegment uint64
+	// Points dumped into the checkpoint file.
+	Points int64
+	// SegmentsRemoved is how many superseded WAL segments were deleted.
+	SegmentsRemoved int
+	Took            time.Duration
+}
+
+func ckptName(seg uint64) string {
+	return fmt.Sprintf("%08d%s", seg, ckptSuffix)
+}
+
+// listCheckpoints returns the checkpoint sequence numbers in dir, ascending.
+func listCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		if n, err := strconv.ParseUint(strings.TrimSuffix(name, ckptSuffix), 10, 64); err == nil {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// lockDataDir takes the directory's flock. flock (not O_EXCL) so the lock
+// dies with the process: a kill -9 leaves no stale lock to clean up.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrDirLocked, dir)
+	}
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return f, nil
+}
+
+// openPersist restores state from dir into db (checkpoint, then WAL tail),
+// then arms db.persist and starts the background flusher and checkpointer.
+// Called by OpenDB before the DB is visible to anyone, so the recovery
+// writes it issues are the only traffic and are not re-logged.
+func openPersist(db *DB, opts PersistOptions) error {
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncInterval
+	}
+	switch opts.Fsync {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+	default:
+		return fmt.Errorf("tsdb: unknown fsync policy %q", opts.Fsync)
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = time.Minute
+	}
+	walDir := filepath.Join(opts.Dir, walDirName)
+	ckptDir := filepath.Join(opts.Dir, ckptDirName)
+	for _, d := range []string{opts.Dir, walDir, ckptDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	lock, err := lockDataDir(opts.Dir)
+	if err != nil {
+		return err
+	}
+	pr := &persister{opts: opts, lock: lock, stop: make(chan struct{})}
+	fail := func(err error) error {
+		syscall.Flock(int(lock.Fd()), syscall.LOCK_UN)
+		lock.Close()
+		return err
+	}
+
+	// Leftover temp files are checkpoints whose rename never happened:
+	// dead weight from a crash mid-checkpoint, safe to delete.
+	if tmps, _ := filepath.Glob(filepath.Join(ckptDir, "*.tmp")); true {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+
+	// 1. Restore the newest checkpoint, if any.
+	replayFrom := uint64(0)
+	if seqs, err := listCheckpoints(ckptDir); err != nil {
+		return fail(err)
+	} else if len(seqs) > 0 {
+		seq := seqs[len(seqs)-1]
+		f, err := os.Open(filepath.Join(ckptDir, ckptName(seq)))
+		if err != nil {
+			return fail(err)
+		}
+		n, err := db.Restore(f)
+		f.Close()
+		if err != nil {
+			return fail(fmt.Errorf("tsdb: checkpoint %s corrupt: %w", ckptName(seq), err))
+		}
+		pr.restoredPoints.Store(uint64(n))
+		replayFrom = seq
+	}
+
+	// 2. Replay the WAL tail: every segment the checkpoint does not cover.
+	segs, err := listSegments(walDir)
+	if err != nil {
+		return fail(err)
+	}
+	var p Point
+	for i, seg := range segs {
+		if seg < replayFrom {
+			continue // superseded by the checkpoint, awaiting truncation
+		}
+		final := i == len(segs)-1
+		// Fresh decoder per segment: the writer resets its shape
+		// dictionary at every rotation, so each segment is self-contained.
+		var dec walDecoder
+		apply := func(payload []byte) error {
+			for len(payload) > 0 {
+				rest, sample, err := dec.next(payload, &p)
+				if err != nil {
+					// A CRC-valid record with a bad encoding is
+					// corruption, not a tear.
+					return fmt.Errorf("%w: replay: %v", ErrWALCorrupt, err)
+				}
+				payload = rest
+				if !sample {
+					continue
+				}
+				if err := db.Write(&p); err != nil {
+					return err
+				}
+				pr.replayedPoints.Add(1)
+			}
+			return nil
+		}
+		records, err := replaySegment(filepath.Join(walDir, segName(seg)), final, apply)
+		pr.replayedRecords.Add(uint64(records))
+		if errors.Is(err, ErrWALTorn) {
+			pr.tornTail.Store(true)
+			break
+		}
+		if errors.Is(err, ErrWALCorrupt) && i+1 < len(segs) &&
+			segmentStartsWithTear(filepath.Join(walDir, segName(segs[i+1]))) {
+			// The next segment acknowledges this one's torn tail: it was
+			// abandoned by an error-rotation (see wal.rotateLocked), not
+			// corrupted. Everything before the tear was applied; carry on.
+			pr.tornTail.Store(true)
+			continue
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// 3. Arm the log on a fresh segment after everything on disk — a torn
+	// tail is never appended to, so it stays detectable.
+	firstFree := replayFrom + 1
+	if len(segs) > 0 && segs[len(segs)-1]+1 > firstFree {
+		firstFree = segs[len(segs)-1] + 1
+	}
+	if firstFree == 0 {
+		firstFree = 1
+	}
+	pr.wal, err = openWAL(walDir, firstFree, opts.MaxSegmentBytes, opts.Fsync)
+	if err != nil {
+		return fail(err)
+	}
+	db.persist = pr
+
+	// 4. Background work: the interval flusher and the checkpointer.
+	if opts.Fsync == FsyncInterval {
+		pr.wg.Add(1)
+		go func() {
+			defer pr.wg.Done()
+			t := time.NewTicker(opts.FsyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-pr.stop:
+					return
+				case <-t.C:
+					pr.wal.Sync()
+				}
+			}
+		}()
+	}
+	if opts.CheckpointEvery > 0 {
+		pr.wg.Add(1)
+		go func() {
+			defer pr.wg.Done()
+			t := time.NewTicker(opts.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-pr.stop:
+					return
+				case <-t.C:
+					db.Checkpoint()
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// logPoint appends one committed Write's record to the WAL. Caller holds
+// db.commitMu.RLock; same error contract as logBatch.
+func (pr *persister) logPoint(p *Point) error {
+	return pr.wal.AppendPoint(p)
+}
+
+// close stops the background goroutines, seals the WAL and releases the
+// directory lock. Called from DB.Close after the write barrier.
+func (pr *persister) close() error {
+	close(pr.stop)
+	pr.wg.Wait()
+	err := pr.wal.Close()
+	if e := syscall.Flock(int(pr.lock.Fd()), syscall.LOCK_UN); err == nil {
+		err = e
+	}
+	if e := pr.lock.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// logBatch appends one committed write's record to the WAL (dictionary-
+// compressed, see wal.go). Caller holds db.commitMu.RLock. An append error
+// fails the write that requested it: the in-memory state never runs ahead
+// of what a restart can recover (watch PersistStats.WALAppendErrors — a
+// full disk surfaces here, not as silent divergence).
+func (pr *persister) logBatch(pts []Point) error {
+	err := pr.wal.AppendPoints(pts)
+	if errors.Is(err, errWALRecordTooBig) && len(pts) > 1 {
+		// A batch too big for one frame splits into several records —
+		// WriteBatch promises per-stripe, not per-batch, atomicity anyway.
+		if err = pr.logBatch(pts[:len(pts)/2]); err == nil {
+			err = pr.logBatch(pts[len(pts)/2:])
+		}
+	}
+	return err
+}
+
+// Checkpoint writes an atomic snapshot of the current state and truncates
+// the WAL behind it. Safe to call concurrently with writes and queries:
+// writers stall only while the stripe they target is being dumped (see the
+// cycle description at the top of this file). Returns ErrNoPersist on an
+// in-memory DB. The automatic checkpointer calls this on its ticker; the
+// HTTP API exposes it as POST /api/checkpoint.
+func (db *DB) Checkpoint() (CheckpointInfo, error) {
+	pr := db.persist
+	if pr == nil {
+		return CheckpointInfo{}, ErrNoPersist
+	}
+	pr.ckptMu.Lock()
+	defer pr.ckptMu.Unlock()
+	if db.closed.Load() {
+		return CheckpointInfo{}, ErrClosedDB
+	}
+	began := time.Now()
+
+	// The cut: with commitMu held exclusively no write is between its WAL
+	// append and its apply, so "state now" == "every record below newSeg".
+	db.commitMu.Lock()
+	newSeg, err := pr.wal.Rotate()
+	if err != nil {
+		db.commitMu.Unlock()
+		pr.checkpointErrors.Add(1)
+		return CheckpointInfo{}, err
+	}
+	for _, st := range db.stripes {
+		st.mu.RLock()
+	}
+	db.commitMu.Unlock()
+
+	// Stage each stripe's dump in memory and release its lock immediately:
+	// a writer stalls only while the stripe it targets is being copied (at
+	// memory speed), never behind file I/O. Costs one serialized copy of
+	// the retained state, same as Snapshot — and like Snapshot the chunks
+	// come back sorted by shard start, which restore-into-retention
+	// correctness depends on (see stageDumpChunks).
+	chunks, points := db.stageDumpChunks(true)
+
+	// All file I/O happens lock-free.
+	ckptDir := filepath.Join(pr.opts.Dir, ckptDirName)
+	tmp := filepath.Join(ckptDir, ckptName(newSeg)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		pr.checkpointErrors.Add(1)
+		return CheckpointInfo{}, err
+	}
+	for _, c := range chunks {
+		if _, err = f.Write(c.data); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if e := f.Close(); err == nil {
+		err = e
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(ckptDir, ckptName(newSeg)))
+	}
+	if err == nil {
+		err = syncDir(ckptDir)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		pr.checkpointErrors.Add(1)
+		return CheckpointInfo{}, err
+	}
+
+	// The new checkpoint supersedes everything older: previous checkpoints
+	// and every WAL segment below the cut. Failures here are not fatal —
+	// leftovers are skipped on restore and retried next cycle.
+	if seqs, err := listCheckpoints(ckptDir); err == nil {
+		for _, s := range seqs {
+			if s < newSeg {
+				os.Remove(filepath.Join(ckptDir, ckptName(s)))
+			}
+		}
+	}
+	removed, _ := removeSegmentsBelow(filepath.Join(pr.opts.Dir, walDirName), newSeg)
+
+	pr.checkpoints.Add(1)
+	pr.lastCkptSeg.Store(newSeg)
+	pr.lastCkptUnixNs.Store(began.UnixNano())
+	return CheckpointInfo{
+		WALSegment: newSeg, Points: points,
+		SegmentsRemoved: removed, Took: time.Since(began),
+	}, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if e := d.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// PersistStats snapshots the durability counters; Enabled is false (and
+// everything else zero) on an in-memory DB.
+func (db *DB) PersistStats() PersistStats {
+	pr := db.persist
+	if pr == nil {
+		return PersistStats{}
+	}
+	age := int64(-1)
+	if last := pr.lastCkptUnixNs.Load(); last > 0 {
+		age = time.Now().UnixNano() - last
+	}
+	pr.wal.mu.Lock()
+	seg := pr.wal.seg
+	pr.wal.mu.Unlock()
+	return PersistStats{
+		Enabled: true,
+		Dir:     pr.opts.Dir,
+		Fsync:   pr.opts.Fsync,
+
+		WALAppends:      pr.wal.appends.Load(),
+		WALAppendErrors: pr.wal.appendErrors.Load(),
+		WALFsyncs:       pr.wal.fsyncs.Load(),
+		WALSegment:      seg,
+
+		RestoredPoints:     pr.restoredPoints.Load(),
+		WALReplayedPoints:  pr.replayedPoints.Load(),
+		WALReplayedRecords: pr.replayedRecords.Load(),
+		ReplayTornTail:     pr.tornTail.Load(),
+
+		Checkpoints:       pr.checkpoints.Load(),
+		CheckpointErrors:  pr.checkpointErrors.Load(),
+		LastCheckpointSeg: pr.lastCkptSeg.Load(),
+		CheckpointAgeNs:   age,
+	}
+}

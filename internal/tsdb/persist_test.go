@@ -1,0 +1,755 @@
+package tsdb
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// persistOpts returns manual-checkpoint-only options so tests control the
+// checkpoint/truncate cycle deterministically.
+func persistOpts(dir string, fsync FsyncPolicy) *PersistOptions {
+	return &PersistOptions{Dir: dir, Fsync: fsync, CheckpointEvery: -1}
+}
+
+// writePersistPoints writes n deterministic points: two city-pair series,
+// 100ms apart, values cycling over a prime so count/min/max/sum pin content.
+// Half go through Write, half through WriteBatch, so both WAL record shapes
+// are exercised.
+func writePersistPoints(t *testing.T, db *DB, n, offset int) {
+	t.Helper()
+	batch := make([]Point, 0, 16)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if applied, err := db.WriteBatch(batch); err != nil || applied != len(batch) {
+			t.Fatalf("WriteBatch applied %d/%d: %v", applied, len(batch), err)
+		}
+		batch = batch[:0]
+	}
+	for i := offset; i < offset+n; i++ {
+		city := "Auckland"
+		if i%2 == 1 {
+			city = "Wellington"
+		}
+		p := Point{
+			Name: "latency",
+			Tags: []Tag{
+				{Key: "src_city", Value: city},
+				{Key: "dst_city", Value: "Los Angeles"},
+			},
+			Fields: []Field{{Key: "total_ms", Value: float64(1 + i%997)}},
+			Time:   int64(i) * 1e8,
+		}
+		if i%2 == 0 {
+			if err := db.Write(&p); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			continue
+		}
+		batch = append(batch, p)
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
+}
+
+// fullQuery runs the exact-aggregate dashboard query over every point the
+// tests write, at the given resolution.
+func fullQuery(t *testing.T, db *DB, n int, resolution int64) []SeriesResult {
+	t.Helper()
+	end := (int64(n)*1e8 + 10e9 - 1) / 10e9 * 10e9
+	res, err := db.Execute(Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: end, Window: 10e9, GroupBy: "src_city",
+		Resolution: resolution,
+		Aggs:       []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean},
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return res
+}
+
+// stripTier zeroes the Tier marker so tier-served and raw-served results
+// can be compared for value equality.
+func stripTier(res []SeriesResult) []SeriesResult {
+	out := make([]SeriesResult, len(res))
+	copy(out, res)
+	for i := range out {
+		out[i].Tier = 0
+	}
+	return out
+}
+
+// crashDB simulates kill -9: background goroutines stop, the WAL file
+// descriptor is closed without flushing the user-space buffer, and the
+// directory lock is dropped (flock dies with the process) — but none of
+// the orderly Close work (final flush/fsync) happens.
+func crashDB(db *DB) {
+	pr := db.persist
+	db.closed.Store(true)
+	close(pr.stop)
+	pr.wg.Wait()
+	pr.wal.mu.Lock()
+	pr.wal.closed = true
+	pr.wal.f.Close() // raw close: buffered bytes are lost, like a dead process's heap
+	pr.wal.mu.Unlock()
+	syscall.Flock(int(pr.lock.Fd()), syscall.LOCK_UN)
+	pr.lock.Close()
+}
+
+func TestPersistRoundTripRebuildsTiers(t *testing.T) {
+	dir := t.TempDir()
+	const n = 4000
+	opts := Options{Rollups: DefaultRollups(), Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, 0)
+	wantRaw := fullQuery(t, db, n, ResolutionRaw)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if !ps.Enabled || ps.WALReplayedPoints != n || ps.RestoredPoints != 0 {
+		t.Fatalf("replay stats = %+v, want %d WAL-replayed, 0 restored", ps, n)
+	}
+	if ps.ReplayTornTail {
+		t.Fatal("clean close reported a torn tail")
+	}
+	if got := fullQuery(t, db2, n, ResolutionRaw); !reflect.DeepEqual(got, wantRaw) {
+		t.Fatalf("raw query diverged after restart:\n got %+v\nwant %+v", got, wantRaw)
+	}
+	// The rollup tiers were rebuilt by replay: a tier-served query must
+	// agree with raw on the exact aggregates.
+	tier := fullQuery(t, db2, n, ResolutionAuto)
+	if len(tier) == 0 || tier[0].Tier == 0 {
+		t.Fatalf("query not tier-served after restart: %+v", tier)
+	}
+	if !reflect.DeepEqual(stripTier(tier), stripTier(wantRaw)) {
+		t.Fatal("tier-served query diverged from raw after restart")
+	}
+}
+
+func TestPersistCheckpointRestoreAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3000
+	opts := Options{
+		Rollups: DefaultRollups(),
+		Persist: &PersistOptions{Dir: dir, Fsync: FsyncOff, CheckpointEvery: -1,
+			MaxSegmentBytes: 64 << 10}, // force several segments
+	}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, 0)
+	info, err := db.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if info.Points != n {
+		t.Fatalf("checkpoint dumped %d points, want %d", info.Points, n)
+	}
+	if info.SegmentsRemoved == 0 {
+		t.Fatal("checkpoint removed no WAL segments despite 64KiB segment cap")
+	}
+	segs, err := listSegments(filepath.Join(dir, walDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s < info.WALSegment {
+			t.Fatalf("segment %d survived truncation below checkpoint %d", s, info.WALSegment)
+		}
+	}
+	// Writes after the checkpoint land in the replayed tail.
+	writePersistPoints(t, db, n, n)
+	wantRaw := fullQuery(t, db, 2*n, ResolutionRaw)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if ps.RestoredPoints != n || ps.WALReplayedPoints != n {
+		t.Fatalf("recovery = %d restored + %d replayed, want %d + %d",
+			ps.RestoredPoints, ps.WALReplayedPoints, n, n)
+	}
+	if got := fullQuery(t, db2, 2*n, ResolutionRaw); !reflect.DeepEqual(got, wantRaw) {
+		t.Fatal("checkpoint + WAL-tail recovery diverged from pre-restart state")
+	}
+	tier := fullQuery(t, db2, 2*n, ResolutionAuto)
+	if len(tier) == 0 || tier[0].Tier == 0 {
+		t.Fatal("query not tier-served after checkpointed restart")
+	}
+	if !reflect.DeepEqual(stripTier(tier), stripTier(wantRaw)) {
+		t.Fatal("tier-served query diverged from raw after checkpointed restart")
+	}
+}
+
+func TestPersistCrashRecoveryOracle(t *testing.T) {
+	// The acceptance shape: sustained ingest, a checkpoint mid-stream, a
+	// hard crash (no orderly shutdown), restart — everything the oracle
+	// snapshot saw must be queryable, bit-equal, with tiers equivalent.
+	dir := t.TempDir()
+	const n = 2500
+	opts := Options{Rollups: DefaultRollups(), Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, 0)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, n)
+	var oracle bytes.Buffer
+	oraclePts, err := db.Snapshot(&oracle)
+	if err != nil || oraclePts != 2*n {
+		t.Fatalf("oracle snapshot: %d points, err %v", oraclePts, err)
+	}
+	wantRaw := fullQuery(t, db, 2*n, ResolutionRaw)
+	crashDB(db)
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if ps.RestoredPoints+ps.WALReplayedPoints != 2*n {
+		t.Fatalf("recovered %d+%d points, want %d", ps.RestoredPoints, ps.WALReplayedPoints, 2*n)
+	}
+	if got := fullQuery(t, db2, 2*n, ResolutionRaw); !reflect.DeepEqual(got, wantRaw) {
+		t.Fatal("post-crash query diverged from the pre-kill oracle")
+	}
+	tier := fullQuery(t, db2, 2*n, ResolutionAuto)
+	if !reflect.DeepEqual(stripTier(tier), stripTier(wantRaw)) {
+		t.Fatal("post-crash tier-served query diverged from raw")
+	}
+	var recovered bytes.Buffer
+	if pts, err := db2.Snapshot(&recovered); err != nil || pts != 2*n {
+		t.Fatalf("recovered snapshot: %d points, err %v", pts, err)
+	}
+}
+
+func TestPersistTornTailTolerated(t *testing.T) {
+	for _, tear := range []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"truncated-mid-record", func(t *testing.T, path string) {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt-crc", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xff
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			dir := t.TempDir()
+			const n = 200
+			opts := Options{Persist: persistOpts(dir, FsyncOff)}
+			db, err := OpenDB(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writePersistPoints(t, db, n, 0)
+			crashDB(db)
+
+			segs, err := listSegments(filepath.Join(dir, walDirName))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("segments: %v, err %v", segs, err)
+			}
+			tear.mut(t, filepath.Join(dir, walDirName, segName(segs[len(segs)-1])))
+
+			db2, err := OpenDB(opts)
+			if err != nil {
+				t.Fatalf("reopen with torn tail: %v", err)
+			}
+			defer db2.Close()
+			ps := db2.PersistStats()
+			if !ps.ReplayTornTail {
+				t.Fatal("torn tail not reported")
+			}
+			// Everything before the tear survives; only the final record
+			// (up to one WriteBatch) is lost.
+			written, _ := db2.WriteStats()
+			if written == 0 || written >= n {
+				t.Fatalf("replayed %d points, want within (0, %d)", written, n)
+			}
+			if written < n-16-1 {
+				t.Fatalf("replayed %d points — tear may only cost the final record (≥ %d)", written, n-16-1)
+			}
+		})
+	}
+}
+
+func TestPersistCorruptMiddleSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Persist: &PersistOptions{Dir: dir, Fsync: FsyncOff,
+		CheckpointEvery: -1, MaxSegmentBytes: 16 << 10}}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, 2000, 0)
+	crashDB(db)
+
+	segs, err := listSegments(filepath.Join(dir, walDirName))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, got %v (err %v)", segs, err)
+	}
+	first := filepath.Join(dir, walDirName, segName(segs[0]))
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(opts); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("open over corrupt middle segment: err %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestPersistMidCheckpointCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	const n = 500
+	opts := Options{Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, 0)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, n, n)
+	crashDB(db)
+
+	// A crash mid-checkpoint leaves a temp file (never renamed) and can
+	// leave stale pre-checkpoint artifacts. None of them may confuse
+	// recovery: the temp is deleted, the garbage "old" checkpoint and
+	// segment are below the newest checkpoint and skipped.
+	ckptDir := filepath.Join(dir, ckptDirName)
+	if err := os.WriteFile(filepath.Join(ckptDir, ckptName(99)+".tmp"),
+		[]byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckptDir, ckptName(0)),
+		[]byte("not line protocol at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walDirName, segName(0)),
+		[]byte("stale segment garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if ps.RestoredPoints != n || ps.WALReplayedPoints != n {
+		t.Fatalf("recovery = %d restored + %d replayed, want %d + %d",
+			ps.RestoredPoints, ps.WALReplayedPoints, n, n)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(ckptDir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("stale temp checkpoints survived open: %v", tmps)
+	}
+}
+
+func TestPersistLockfileRefusesDoubleOpen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDB(opts); !errors.Is(err, ErrDirLocked) {
+		t.Fatalf("double open: err %v, want ErrDirLocked", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	db2.Close()
+}
+
+func TestPersistFsyncAlwaysGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Persist: persistOpts(dir, FsyncAlways)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := Point{
+					Name:   "latency",
+					Tags:   []Tag{{Key: "src_city", Value: fmt.Sprintf("City%d", w)}},
+					Fields: []Field{{Key: "total_ms", Value: float64(i)}},
+					Time:   int64(w*per+i) * 1e6,
+				}
+				if err := db.Write(&p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ps := db.PersistStats()
+	if ps.WALFsyncs == 0 || ps.WALAppends != writers*per {
+		t.Fatalf("fsyncs=%d appends=%d, want >0 and %d", ps.WALFsyncs, ps.WALAppends, writers*per)
+	}
+	// Under FsyncAlways every completed write is durable before it
+	// returns: even a raw crash loses nothing.
+	crashDB(db)
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if written, _ := db2.WriteStats(); written != writers*per {
+		t.Fatalf("recovered %d points after crash, want %d (fsync=always)", written, writers*per)
+	}
+}
+
+func TestPersistConcurrentCheckpointNoLossNoDup(t *testing.T) {
+	// The checkpoint cut must be exact under concurrent ingest: after a
+	// crash, restored + replayed points must equal exactly the writes that
+	// completed — a lost point breaks durability, a duplicated one breaks
+	// the cut (it would be both in the checkpoint and replayed).
+	dir := t.TempDir()
+	opts := Options{Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, batches, batchLen = 4, 60, 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]Point, batchLen)
+			for i := 0; i < batches; i++ {
+				for j := range batch {
+					batch[j] = Point{
+						Name:   "latency",
+						Tags:   []Tag{{Key: "src_city", Value: fmt.Sprintf("City%d", w)}},
+						Fields: []Field{{Key: "total_ms", Value: float64(i*batchLen + j)}},
+						Time:   int64(w)*1e12 + int64(i*batchLen+j)*1e6,
+					}
+				}
+				if applied, err := db.WriteBatch(batch); err != nil || applied != batchLen {
+					t.Errorf("WriteBatch applied %d: %v", applied, err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if _, err := db.Checkpoint(); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if t.Failed() {
+		return
+	}
+	const total = writers * batches * batchLen
+	if written, _ := db.WriteStats(); written != total {
+		t.Fatalf("pre-crash written=%d, want %d", written, total)
+	}
+	crashDB(db)
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if got := ps.RestoredPoints + ps.WALReplayedPoints; got != total {
+		t.Fatalf("recovered %d (%d restored + %d replayed), want exactly %d",
+			got, ps.RestoredPoints, ps.WALReplayedPoints, total)
+	}
+}
+
+// failingWriter fails every write — the fault-injecting writer behind the
+// WAL append error-path test.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("injected disk failure") }
+
+func TestPersistWALAppendFailureFailsWriteThenSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDB(Options{Persist: persistOpts(dir, FsyncOff)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, 10, 0)
+	// Swap the segment writer for one that always fails: the next write
+	// must surface the error and must NOT become queryable — otherwise
+	// memory runs ahead of what a restart can recover.
+	db.persist.wal.mu.Lock()
+	db.persist.wal.bw = bufio.NewWriterSize(failingWriter{}, 1)
+	db.persist.wal.mu.Unlock()
+
+	p := Point{Name: "latency", Fields: []Field{{Key: "total_ms", Value: 1}}, Time: 1e15}
+	if err := db.Write(&p); err == nil {
+		t.Fatal("Write succeeded despite WAL append failure")
+	}
+	written, _ := db.WriteStats()
+	if written != 10 {
+		t.Fatalf("failed write reached memory: written=%d, want 10", written)
+	}
+	if ps := db.PersistStats(); ps.WALAppendErrors == 0 {
+		t.Fatal("append errors not counted")
+	}
+	// The failure poisoned the segment; the next write must rotate onto a
+	// fresh one and succeed — a transient disk error (ENOSPC later
+	// cleared) must not wedge the WAL until restart.
+	if applied, err := db.WriteBatch([]Point{p}); err != nil || applied != 1 {
+		t.Fatalf("write after WAL failure did not self-heal: applied=%d err=%v", applied, err)
+	}
+	if written, _ := db.WriteStats(); written != 11 {
+		t.Fatalf("written=%d after heal, want 11", written)
+	}
+	// And the healed segment replays: the 10 pre-failure points plus the
+	// healed one survive a crash (the poisoned segment's tail is torn).
+	crashDB(db)
+	db2, err := OpenDB(Options{Persist: persistOpts(dir, FsyncOff)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if written, _ := db2.WriteStats(); written != 11 {
+		t.Fatalf("recovered %d points after heal+crash, want 11", written)
+	}
+}
+
+func TestPersistCheckpointPreservesRetentionSliver(t *testing.T) {
+	// Retention keeps whole shards, so a shard straddling the horizon
+	// holds points individually older than it. The checkpoint dump must
+	// come back shard-time ascending: replayed old→new those sliver
+	// points are stored before the horizon advances past them. Unordered
+	// (stripe-major) dumps silently re-drop them at restore time.
+	dir := t.TempDir()
+	opts := Options{ShardDuration: 10e9, Retention: 30e9,
+		Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(city string, ts int64) {
+		p := Point{Name: "latency",
+			Tags:   []Tag{{Key: "src_city", Value: city}},
+			Fields: []Field{{Key: "total_ms", Value: 1}}, Time: ts}
+		if err := db.Write(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Slivers: t=5e9 lives in shard [0,10e9); with maxT=39e9 the horizon
+	// is 9e9, so those points are older than the horizon but their shard
+	// survives. 16 cities put slivers and newer points in every stripe: a
+	// stripe-major dump replays some stripe's 39e9 point before a later
+	// stripe's sliver, advancing the horizon past it.
+	for i := 0; i < 16; i++ {
+		write(fmt.Sprintf("City%d", i), 5e9)
+	}
+	for i := 0; i < 16; i++ {
+		write(fmt.Sprintf("City%d", i), 39e9)
+	}
+	if written, dropped := db.WriteStats(); written != 32 || dropped != 0 {
+		t.Fatalf("pre-checkpoint: written=%d dropped=%d, want 32/0", written, dropped)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if written, dropped := db2.WriteStats(); written != 32 || dropped != 0 {
+		t.Fatalf("restore kept %d points (dropped %d), want all 32: slivers lost to dump order", written, dropped)
+	}
+}
+
+// partialWriter passes writes through to the real file until failAfter
+// bytes, then fails forever — leaving a genuinely torn frame ON DISK, the
+// way a full disk does.
+type partialWriter struct {
+	f         *os.File
+	remaining int
+}
+
+func (p *partialWriter) Write(b []byte) (int, error) {
+	if p.remaining <= 0 {
+		return 0, errors.New("injected disk full")
+	}
+	n := len(b)
+	if n > p.remaining {
+		n = p.remaining
+	}
+	n, err := p.f.Write(b[:n])
+	p.remaining -= n
+	if err == nil && n < len(b) {
+		err = errors.New("injected disk full")
+	}
+	return n, err
+}
+
+func TestPersistTornMidStreamAfterIOErrorTolerated(t *testing.T) {
+	// An error-rotation abandons a segment whose tail holds a REAL partial
+	// frame on disk. Once later segments exist it is no longer the final
+	// segment, so without the tear acknowledgement the next open would
+	// refuse with ErrWALCorrupt — turning a transient disk-full event into
+	// a permanent startup failure.
+	dir := t.TempDir()
+	opts := Options{Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, 10, 0)
+	// Route the current segment through a writer that lets 5 more bytes
+	// through to the real file, then fails: the next record is torn mid-
+	// frame on disk.
+	w := db.persist.wal
+	w.mu.Lock()
+	w.bw.Flush()
+	w.bw = bufio.NewWriterSize(&partialWriter{f: w.f, remaining: 5}, 1)
+	w.mu.Unlock()
+
+	p := Point{Name: "latency", Fields: []Field{{Key: "total_ms", Value: 1}}, Time: 1e15}
+	if err := db.Write(&p); err == nil {
+		t.Fatal("Write succeeded despite injected disk failure")
+	}
+	// Self-heal onto a fresh segment (which must carry the tear marker),
+	// then keep writing.
+	writePersistPoints(t, db, 10, 100)
+	crashDB(db)
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen after error-rotation: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if !ps.ReplayTornTail {
+		t.Fatal("acknowledged tear not reported")
+	}
+	if written, _ := db2.WriteStats(); written != 20 {
+		t.Fatalf("recovered %d points, want 20 (10 pre-tear + 10 healed)", written)
+	}
+}
+
+func TestPersistOversizeBatchSplits(t *testing.T) {
+	old := maxRecordBytes
+	maxRecordBytes = 4096
+	defer func() { maxRecordBytes = old }()
+
+	dir := t.TempDir()
+	opts := Options{Persist: persistOpts(dir, FsyncOff)}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One batch far beyond the frame limit: must be split across several
+	// records, not written as a frame replay would reject.
+	writePersistPoints(t, db, 2000, 0)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	ps := db2.PersistStats()
+	if ps.WALReplayedPoints != 2000 {
+		t.Fatalf("replayed %d of 2000 points written through oversized batches", ps.WALReplayedPoints)
+	}
+}
+
+func TestPersistCloseIdempotent(t *testing.T) {
+	db, err := OpenDB(Options{Persist: persistOpts(t.TempDir(), FsyncOff)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePersistPoints(t, db, 10, 0)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Close (defer + explicit, or two racing callers) must be a
+	// no-op, not a close-of-closed-channel panic.
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpenPanicsOnPersist(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Open(Options{Persist}) did not panic")
+		}
+	}()
+	Open(Options{Persist: persistOpts(t.TempDir(), FsyncOff)})
+}

@@ -10,6 +10,15 @@
 // name, sorted key=value tags and float fields; the text ingest format is
 // Influx line protocol; storage is time-sharded and series-columnar with an
 // inverted tag index.
+//
+// Storage is in-memory by default. Opened through OpenDB with
+// Options.Persist set, the database is durable: every write is logged to a
+// segmented write-ahead log before it is applied (fsync per
+// PersistOptions.Fsync), checkpoints bound replay work and WAL growth, and
+// open restores the newest checkpoint plus the WAL tail — tolerating the
+// torn final record a crash leaves — rebuilding rollup tiers along the
+// way. See PersistOptions, DB.Checkpoint and PersistStats for the
+// contract, and wal.go/persist.go for the design.
 package tsdb
 
 import (

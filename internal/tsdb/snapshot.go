@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"sort"
 )
@@ -12,12 +13,18 @@ import (
 // InfluxDB, POSTed to another Ruru's /write endpoint, or restored with
 // Restore.
 //
-// Snapshot acquires every stripe's read lock (in index order) and holds
-// them all for the duration, so each stripe is dumped at a single point in
-// time and writes block until the dump completes. Because acquisition is
-// sequential and WriteBatch applies a batch stripe by stripe, a batch
-// racing the acquisition phase can appear partially in the dump — same
-// per-stripe (not per-batch) consistency WriteBatch itself documents.
+// Locking: the dump is staged stripe by stripe — each stripe's read lock is
+// held only while that stripe's points are copied into memory, never while
+// bytes travel to w. A slow consumer (a throttled HTTP client on
+// GET /snapshot) therefore cannot stall writes: the worst-case write stall
+// is one stripe's copy, and it costs staging memory proportional to the
+// serialized size of the DB (bounded by retention). Consistency is
+// per-stripe, exactly the granularity WriteBatch itself documents: a batch
+// racing the staging phase can appear partially in the dump.
+//
+// Output is ordered by shard start time (ascending), so replaying a
+// snapshot into a retention-bounded DB never drops points that were live
+// when the snapshot was taken.
 //
 // Rollup tiers are derived data and are NOT serialized: Restore rebuilds
 // them from the raw points it replays. Consequently a snapshot taken with
@@ -25,61 +32,97 @@ import (
 // held — only the raw points still inside the retention horizon survive a
 // snapshot/restore round trip.
 func (db *DB) Snapshot(w io.Writer) (points int64, err error) {
-	starts := map[int64]struct{}{}
-	for _, st := range db.stripes {
-		st.mu.RLock()
-		defer st.mu.RUnlock()
-		for _, start := range st.order {
-			starts[start] = struct{}{}
-		}
-	}
-	order := make([]int64, 0, len(starts))
-	for start := range starts {
-		order = append(order, start)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-
+	chunks, points := db.stageDumpChunks(false)
 	bw := bufio.NewWriterSize(w, 1<<16)
-	buf := make([]byte, 0, 512)
-	var p Point
-	for _, start := range order {
-		for _, st := range db.stripes {
-			sh, ok := st.shards[start]
-			if !ok {
-				continue
-			}
-			for _, sr := range sh.series {
-				for i, ts := range sr.times {
-					p.Name = sr.name
-					p.Tags = sr.tags
-					p.Fields = p.Fields[:0]
-					for k, col := range sr.fields {
-						v := col[i]
-						if v != v { // NaN: field absent for this point
-							continue
-						}
-						p.Fields = append(p.Fields, Field{Key: k, Value: v})
-					}
-					if len(p.Fields) == 0 {
-						continue
-					}
-					p.Time = ts
-					buf = MarshalLine(buf[:0], &p)
-					buf = append(buf, '\n')
-					if _, err := bw.Write(buf); err != nil {
-						return points, err
-					}
-					points++
-				}
-			}
+	for _, c := range chunks {
+		if _, err := bw.Write(c.data); err != nil {
+			return points, err
 		}
 	}
 	return points, bw.Flush()
 }
 
+// dumpChunk is one shard's serialized points.
+type dumpChunk struct {
+	start int64
+	data  []byte
+}
+
+// stageDumpChunks copies every stripe's shards into per-shard
+// line-protocol chunks and returns them sorted by shard start (ascending)
+// plus the total point count. If preLocked, the caller already holds every
+// stripe's read lock (the checkpoint cut); otherwise each stripe is
+// read-locked just for its copy. Either way a stripe's lock is released
+// the moment that stripe is staged.
+//
+// The ascending order is load-bearing for restores into retention-bounded
+// DBs: retention keeps whole shards, so a shard straddling the horizon
+// holds points individually older than it. Replaying old→new stores those
+// sliver points while the horizon is still behind them; any other order
+// would re-drop them at write time and a checkpoint/restore cycle would
+// silently lose live data (pinned by
+// TestPersistCheckpointPreservesRetentionSliver).
+func (db *DB) stageDumpChunks(preLocked bool) ([]dumpChunk, int64) {
+	var chunks []dumpChunk
+	var points int64
+	buf := make([]byte, 0, 512)
+	for _, st := range db.stripes {
+		if !preLocked {
+			st.mu.RLock()
+		}
+		for _, start := range st.order {
+			var bb bytes.Buffer
+			var n int64
+			n, buf, _ = marshalShardLocked(&bb, st.shards[start], buf) // Buffer writes cannot fail
+			points += n
+			if bb.Len() > 0 {
+				chunks = append(chunks, dumpChunk{start: start, data: bb.Bytes()})
+			}
+		}
+		st.mu.RUnlock()
+	}
+	sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].start < chunks[j].start })
+	return chunks, points
+}
+
+// marshalShardLocked writes every point of one shard as line protocol to w,
+// returning the point count and the (possibly grown) scratch buffer.
+// Caller holds the owning stripe's lock (read or write).
+func marshalShardLocked(w io.Writer, sh *shard, buf []byte) (int64, []byte, error) {
+	var points int64
+	var p Point
+	for _, sr := range sh.series {
+		for i, ts := range sr.times {
+			p.Name = sr.name
+			p.Tags = sr.tags
+			p.Fields = p.Fields[:0]
+			for k, col := range sr.fields {
+				v := col[i]
+				if v != v { // NaN: field absent for this point
+					continue
+				}
+				p.Fields = append(p.Fields, Field{Key: k, Value: v})
+			}
+			if len(p.Fields) == 0 {
+				continue
+			}
+			p.Time = ts
+			buf = MarshalLine(buf[:0], &p)
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return points, buf, err
+			}
+			points++
+		}
+	}
+	return points, buf, nil
+}
+
 // Restore replays a line-protocol stream (as produced by Snapshot) into the
-// database. Returns the number of points written; stops at the first
-// malformed line.
+// database. Points flow through the normal write path: retention applies,
+// rollup tiers are fed, and on a persistent DB each restored point is
+// WAL-logged like any other write. Returns the number of points written;
+// stops at the first malformed line.
 func (db *DB) Restore(r io.Reader) (points int64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
@@ -90,6 +92,118 @@ func TestSnapshotMixedFields(t *testing.T) {
 	if ra[0].Buckets[0].Count != 1 || rb[0].Buckets[0].Count != 1 {
 		t.Fatal("field separation lost through snapshot")
 	}
+}
+
+func TestSnapshotRestoreRebuildsTiers(t *testing.T) {
+	// Pins the Snapshot doc's "tiers are derived data" claim: a snapshot
+	// carries only raw points, and Restore rebuilds every rollup tier well
+	// enough that tier-served queries agree with pre-restart raw exactly
+	// on the exact aggregates.
+	src := Open(Options{Rollups: DefaultRollups()})
+	const n = 6000
+	for i := 0; i < n; i++ {
+		city := []string{"Auckland", "Sydney"}[i%2]
+		src.Write(pt("latency", int64(i)*1e7,
+			map[string]string{"src_city": city},
+			map[string]float64{"total_ms": float64(1 + i%499)}))
+	}
+	q := Query{Measurement: "latency", Field: "total_ms",
+		Start: 0, End: 60e9, Window: 10e9, GroupBy: "src_city",
+		Aggs: []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean}}
+	qRaw := q
+	qRaw.Resolution = ResolutionRaw
+	want, err := src.Execute(qRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := Open(Options{Rollups: DefaultRollups()})
+	if restored, err := dst.Restore(&buf); err != nil || restored != n {
+		t.Fatalf("restored %d points, err %v", restored, err)
+	}
+	got, err := dst.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d groups vs %d", len(got), len(want))
+	}
+	for g := range got {
+		if got[g].Tier == 0 {
+			t.Fatalf("group %q not tier-served after restore", got[g].Group)
+		}
+		for i := range got[g].Buckets {
+			gb, wb := got[g].Buckets[i], want[g].Buckets[i]
+			if gb.Count != wb.Count {
+				t.Fatalf("%s bucket %d: count %d vs raw %d", got[g].Group, i, gb.Count, wb.Count)
+			}
+			for _, agg := range q.Aggs {
+				if gb.Aggs[agg] != wb.Aggs[agg] {
+					t.Fatalf("%s bucket %d %s: tier %v vs raw %v",
+						got[g].Group, i, agg, gb.Aggs[agg], wb.Aggs[agg])
+				}
+			}
+		}
+	}
+}
+
+// gatedWriter blocks inside its first Write until released — a stand-in
+// for the slow HTTP client that used to stall every TSDB write for the
+// whole duration of a GET /snapshot stream.
+type gatedWriter struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+	n       int
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	g.n += len(p)
+	return len(p), nil
+}
+
+func TestSnapshotSlowConsumerDoesNotBlockWrites(t *testing.T) {
+	db := Open(Options{ShardDuration: 10e9})
+	for i := 0; i < 5000; i++ {
+		db.Write(pt("latency", int64(i)*1e7,
+			map[string]string{"src_city": "Auckland"},
+			map[string]float64{"total_ms": float64(i % 500)}))
+	}
+	gw := &gatedWriter{started: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := db.Snapshot(gw); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-gw.started // the dump is staged and mid-stream, consumer stalled
+
+	// Writes must proceed: the stripe locks were released at staging time.
+	wrote := make(chan error, 1)
+	go func() {
+		wrote <- db.Write(pt("latency", 1e12,
+			map[string]string{"src_city": "Sydney"},
+			map[string]float64{"total_ms": 1}))
+	}()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Write blocked behind a stalled Snapshot consumer")
+	}
+	close(gw.release)
+	<-done
 }
 
 func TestRestoreRejectsGarbage(t *testing.T) {

@@ -7,12 +7,13 @@
 // Endpoints (full reference with parameters, defaults, error codes and
 // example requests in docs/API.md):
 //
-//	GET  /api/stats      — pipeline counters (JSON)
+//	GET  /api/stats      — pipeline counters (JSON, incl. durability)
 //	GET  /api/query      — windowed aggregates from the TSDB; the
 //	                       resolution parameter selects raw vs rollup tiers
 //	GET  /api/tags       — distinct tag values for dashboard pickers
 //	GET  /api/arcs       — recent arcs for the 3D map (JSON)
 //	GET  /api/anomalies  — latency-spike, SYN-flood and surge events
+//	POST /api/checkpoint — force a durable checkpoint + WAL truncation
 //	POST /write          — Influx line-protocol ingest
 //	GET  /snapshot       — full TSDB dump as line protocol
 //	GET  /ws             — WebSocket live measurement feed (JSON arrays)
@@ -20,6 +21,7 @@ package web
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -46,6 +48,7 @@ func NewServer(p *ruru.Pipeline) *Server {
 	s.mux.HandleFunc("GET /api/tags", s.handleTags)
 	s.mux.HandleFunc("GET /api/arcs", s.handleArcs)
 	s.mux.HandleFunc("GET /api/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /write", s.handleWrite)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.Handle("GET /ws", p.Hub)
@@ -54,10 +57,33 @@ func NewServer(p *ruru.Pipeline) *Server {
 
 // handleSnapshot streams the whole TSDB as line protocol — the export half
 // of long-term storage. The output can be POSTed back to /write (here or on
-// a real InfluxDB) to restore.
+// a real InfluxDB) to restore. The dump is staged per stripe before any
+// byte reaches the client, so a slow (or adversarially stalled) consumer
+// cannot hold TSDB locks and stall ingest.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.p.DB.Snapshot(w)
+}
+
+// handleCheckpoint forces a durable checkpoint: an atomic snapshot file
+// plus truncation of the WAL behind it — the operator's "bound my restart
+// replay time now" button (backups too: checkpoint, then copy the data
+// dir). 409 when the pipeline runs without persistence.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.p.DB.Checkpoint()
+	switch {
+	case errors.Is(err, tsdb.ErrNoPersist):
+		httpError(w, http.StatusConflict, "persistence not enabled (start with -data-dir)")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, map[string]any{
+			"wal_segment":          info.WALSegment,
+			"points":               info.Points,
+			"wal_segments_removed": info.SegmentsRemoved,
+			"took_ms":              float64(info.Took.Microseconds()) / 1e3,
+		})
+	}
 }
 
 // ServeHTTP implements http.Handler.

@@ -417,6 +417,68 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 }
 
+func TestCheckpointEndpoint(t *testing.T) {
+	// Without persistence the endpoint must refuse, not 500 or pretend.
+	_, srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/api/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without -data-dir: status %d, want 409", resp.StatusCode)
+	}
+
+	// With persistence: checkpoint responds with the cut, and a restarted
+	// pipeline on the same directory serves the same points.
+	w, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := ruru.Config{GeoDB: w.DB(),
+		Persist: tsdb.PersistOptions{Dir: dir, Fsync: tsdb.FsyncOff, CheckpointEvery: -1}}
+	p, err := ruru.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(NewServer(p))
+	feedSamples(p, 40)
+	resp, err = http.Post(srv2.URL+"/api/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck struct {
+		WALSegment uint64 `json:"wal_segment"`
+		Points     int64  `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ck.Points != 40 || ck.WALSegment == 0 {
+		t.Fatalf("checkpoint: status %d, %+v", resp.StatusCode, ck)
+	}
+	feedSamples(p, 10) // WAL tail past the checkpoint
+	srv2.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := ruru.New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p2.Close()
+	st := p2.Stats()
+	if !st.Persist.Enabled || st.Persist.RestoredPoints != 40 || st.Persist.WALReplayedPoints != 10 {
+		t.Fatalf("restart recovery = %+v, want 40 restored + 10 replayed", st.Persist)
+	}
+	if st.DBPoints != 50 {
+		t.Fatalf("restart DBPoints = %d, want 50", st.DBPoints)
+	}
+}
+
 func TestParseIntForms(t *testing.T) {
 	cases := []struct {
 		in   string
