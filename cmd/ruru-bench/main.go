@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all
+//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all
 //
 // Scale flags let CI run reduced versions; defaults reproduce the numbers
 // recorded in EXPERIMENTS.md.
@@ -24,7 +24,7 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced scale (CI-friendly)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,6 +110,11 @@ func main() {
 				Seed: *seed, Points: int(200_000 * scale),
 			}, w)
 			return err
+		case "e14":
+			_, err := experiments.E14(experiments.E14Config{
+				Points: int(100_000 * scale),
+			}, w)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -117,7 +122,7 @@ func main() {
 
 	ids := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -7,6 +7,13 @@
 //	ruru-query -addr localhost:8080 -start 0 -end 5m -agg mean,median,p99 -group src_city query
 //	ruru-query -addr localhost:8080 anomalies
 //	ruru-query -addr localhost:8080 -n 5 arcs
+//
+// Against a federation aggregator (ruru -mode aggregate) every series
+// carries the probe tag, so fleet queries are ordinary tag queries:
+//
+//	ruru-query -addr agg:8080 -group probe query            # one series per probe
+//	ruru-query -addr agg:8080 -where probe:akl-tap-1 query  # one probe only
+//	ruru-query -addr agg:8080 -group probe tags             # list the fleet
 package main
 
 import (

@@ -3,11 +3,19 @@
 // enriches with geo/AS data, stores into the embedded TSDB, and serves the
 // HTTP API and WebSocket live feed — the paper's deployment in one process.
 //
+// Beyond the single-tap deployment, -mode assembles federated fleets: a
+// "probe" additionally streams every measurement to a central aggregator
+// (acked, spooled, replayed across restarts), and an "aggregate" process
+// accepts N probes and serves the fleet-wide store, every series tagged
+// probe=<id>.
+//
 // Examples:
 //
 //	ruru -listen :8080                          # synthetic AKL↔LA traffic
 //	ruru -listen :8080 -pcap trace.pcap         # replay a capture
 //	ruru -listen :8080 -rate 2000 -duration 60s # heavier synthetic load
+//	ruru -mode aggregate -fed-listen :9100      # central aggregator
+//	ruru -mode probe -remote-write agg:9100 -probe-id akl-tap-1
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"ruru/internal/fed"
 	"ruru/internal/gen"
 	"ruru/internal/geo"
 	"ruru/internal/nic"
@@ -54,6 +63,13 @@ func main() {
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "automatic checkpoint + WAL-truncate period with -data-dir (0 = manual only, via POST /api/checkpoint)")
 		walSegMax  = flag.Int64("wal-segment-bytes", 0, "max WAL segment file size with -data-dir (0 = 64MiB default)")
+		mode       = flag.String("mode", "run", "run (standalone), probe (stream measurements to -remote-write), aggregate (accept probes on -fed-listen, no local traffic source)")
+		remoteAddr = flag.String("remote-write", "", "aggregator address to stream measurements to (required with -mode probe)")
+		probeID    = flag.String("probe-id", "", "stable probe identity for federation (default: hostname); the aggregator tags this probe's series probe=<id>")
+		spoolDir   = flag.String("spool-dir", "", "unacked-batch spool directory for -remote-write (default: <data-dir>/spool, or ./ruru-spool in-memory)")
+		remBatch   = flag.Int("remote-batch", 256, "measurements per remote-write batch")
+		remFlush   = flag.Duration("remote-flush", 200*time.Millisecond, "max wait before a partial remote-write batch is sent")
+		fedListen  = flag.String("fed-listen", ":9100", "federation listen address with -mode aggregate")
 	)
 	flag.Parse()
 
@@ -94,6 +110,40 @@ func main() {
 		log.Fatalf("unknown -overflow %q (want drop or block)", *overflow)
 	}
 
+	var remote fed.ProbeConfig
+	var federate fed.AggConfig
+	switch *mode {
+	case "run":
+	case "probe":
+		if *remoteAddr == "" {
+			log.Fatalf("-mode probe requires -remote-write <aggregator addr>")
+		}
+	case "aggregate":
+		federate.Listen = *fedListen
+	default:
+		log.Fatalf("unknown -mode %q (want run, probe or aggregate)", *mode)
+	}
+	if *remoteAddr != "" {
+		id := *probeID
+		if id == "" {
+			if id, err = os.Hostname(); err != nil || id == "" {
+				log.Fatalf("-probe-id required (hostname unavailable: %v)", err)
+			}
+		}
+		dir := *spoolDir
+		if dir == "" {
+			if *dataDir != "" {
+				dir = *dataDir + "/spool"
+			} else {
+				dir = "ruru-spool"
+			}
+		}
+		remote = fed.ProbeConfig{
+			Addr: *remoteAddr, ID: id, SpoolDir: dir,
+			BatchSize: *remBatch, FlushEvery: *remFlush,
+		}
+	}
+
 	world, err := geo.NewWorld(geo.WorldOptions{Seed: *seed, MislabelFraction: 0.02})
 	if err != nil {
 		log.Fatalf("building world: %v", err)
@@ -111,6 +161,8 @@ func main() {
 		DBStripes:       *dbStripes,
 		Rollups:         rollups,
 		Persist:         persist,
+		RemoteWrite:     remote,
+		Federate:        federate,
 	})
 	if err != nil {
 		log.Fatalf("assembling pipeline: %v", err)
@@ -154,9 +206,32 @@ func main() {
 		}()
 	}
 
+	if p.Agg != nil {
+		log.Printf("ruru: federation aggregator on %s (probes tagged %q)", p.Agg.Addr(), "probe")
+	}
+	if *remoteAddr != "" {
+		log.Printf("ruru: remote-writing to %s as probe %q (spool %s)",
+			remote.Addr, remote.ID, remote.SpoolDir)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	go p.Run(ctx)
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		p.Run(ctx)
+	}()
+	// Close (deferred above) must run after the pipeline goroutines have
+	// wound down: a probe's collector flushes its final partial batch to
+	// the spool on shutdown, and Close sealing the spool first would
+	// discard it (counted in Remote.CloseDropped, but avoidable here).
+	defer func() {
+		select {
+		case <-runDone:
+		case <-time.After(5 * time.Second):
+			log.Printf("ruru: pipeline did not wind down in 5s; closing anyway")
+		}
+	}()
 
 	srv := &http.Server{Addr: *listen, Handler: web.NewServer(p)}
 	go func() {
@@ -177,13 +252,32 @@ func main() {
 				return
 			case <-t.C:
 				st := p.Stats()
-				log.Printf("ruru: pkts=%d measured=%d enriched=%d db=%d ws_clients=%d",
-					st.Port.Ipackets, st.Engine.Completed, st.Enricher.Out, st.DBPoints, p.Hub.Clients())
+				switch {
+				case st.Fed.Enabled:
+					live := 0
+					for _, ps := range st.Fed.Probes {
+						if ps.Connected {
+							live++
+						}
+					}
+					log.Printf("ruru: probes=%d/%d fed_batches=%d fed_points=%d dups=%d db=%d",
+						live, len(st.Fed.Probes), st.Fed.Batches, st.Fed.Points, st.Fed.DupBatches, st.DBPoints)
+				case st.Remote.Enabled:
+					log.Printf("ruru: pkts=%d measured=%d db=%d remote_acked=%d unacked=%d resent=%d dropped=%d connected=%v",
+						st.Port.Ipackets, st.Engine.Completed, st.DBPoints,
+						st.Remote.AckedSeq, st.Remote.Unacked, st.Remote.BatchesResent,
+						st.Remote.Dropped, st.Remote.Connected)
+				default:
+					log.Printf("ruru: pkts=%d measured=%d enriched=%d db=%d ws_clients=%d",
+						st.Port.Ipackets, st.Engine.Completed, st.Enricher.Out, st.DBPoints, p.Hub.Clients())
+				}
 			}
 		}
 	}()
 
-	if *pcapPath != "" {
+	if *mode == "aggregate" {
+		// No local traffic source: measurements arrive from remote probes.
+	} else if *pcapPath != "" {
 		if err := replayPcap(ctx, *pcapPath, p.Port, *burst); err != nil {
 			log.Fatalf("replay: %v", err)
 		}

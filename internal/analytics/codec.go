@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"net/netip"
+	"strconv"
 
 	"ruru/internal/core"
+	"ruru/internal/tsdb"
 )
 
 // Binary codecs for the two pipeline message types. The raw measurement
@@ -107,6 +109,33 @@ type Enriched struct {
 	SYNRetrans uint8    `json:"syn_retrans"`
 	Src        Endpoint `json:"src"`
 	Dst        Endpoint `json:"dst"`
+}
+
+// LatencyPoint converts one enriched measurement into its canonical TSDB
+// point (the "latency" measurement, ms floats, geo/AS tags — the shape the
+// Grafana panels and the query API expect). Every storage path must build
+// points through this one function: the local sink stage and the
+// federation probe's remote-write stream both use it, which is what makes
+// a probe's remotely-written series identical to locally-written ones
+// (modulo the probe tag the aggregator appends).
+func LatencyPoint(e *Enriched) tsdb.Point {
+	return tsdb.Point{
+		Name: "latency",
+		Tags: []tsdb.Tag{
+			{Key: "src_city", Value: e.Src.City},
+			{Key: "src_cc", Value: e.Src.CountryCode},
+			{Key: "src_asn", Value: strconv.FormatUint(uint64(e.Src.ASN), 10)},
+			{Key: "dst_city", Value: e.Dst.City},
+			{Key: "dst_cc", Value: e.Dst.CountryCode},
+			{Key: "dst_asn", Value: strconv.FormatUint(uint64(e.Dst.ASN), 10)},
+		},
+		Fields: []tsdb.Field{
+			{Key: "internal_ms", Value: float64(e.InternalNs) / 1e6},
+			{Key: "external_ms", Value: float64(e.ExternalNs) / 1e6},
+			{Key: "total_ms", Value: float64(e.TotalNs) / 1e6},
+		},
+		Time: e.Time,
+	}
 }
 
 func putStr(buf []byte, s string) []byte {

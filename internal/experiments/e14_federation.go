@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ruru/internal/analytics"
+	"ruru/internal/fed"
+	"ruru/internal/mq"
+	"ruru/internal/tsdb"
+)
+
+// E14Result measures the federation tentpole from both sides:
+//
+//   - Throughput: N probes streaming batched, acked, CRC-framed
+//     measurement records over loopback TCP into one aggregator DB —
+//     points/s applied end to end (bus → probe batcher → spool → wire →
+//     dedup → WriteBatch).
+//   - Recovery: mid-stream every connection is severed (probes reconnect
+//     and replay from their spools), and one probe is crashed outright
+//     (its goroutines reaped without Close, its spool reopened by a
+//     fresh probe with the same identity). ExactlyOnce demands the
+//     aggregator applied every measurement exactly once anyway —
+//     Applied == Sent with zero lost and all resent batches absorbed by
+//     sequence dedup (Duplicates is how many the dedup caught).
+type E14Result struct {
+	Probes int
+	Points int // per probe
+
+	Rate        float64 // aggregator points/s, end to end
+	Sent        uint64  // measurements handed to the probes
+	Applied     uint64  // measurements the aggregator wrote
+	Duplicates  uint64  // resent batches absorbed by sequence dedup
+	Resent      uint64  // batch frames the probes sent more than once
+	ExactlyOnce bool
+}
+
+// E14Config parameterizes the federation experiment.
+type E14Config struct {
+	Probes int // default 2
+	Points int // per probe (default 100k)
+	Batch  int // remote-write batch size (default 256)
+}
+
+// E14 runs the probe→aggregator federation pipeline in-process with real
+// TCP and real spool files, injecting a full-fleet disconnect and one
+// probe crash mid-stream.
+func E14(cfg E14Config, w io.Writer) (E14Result, error) {
+	if cfg.Probes <= 0 {
+		cfg.Probes = 2
+	}
+	if cfg.Points <= 0 {
+		cfg.Points = 100_000
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	res := E14Result{Probes: cfg.Probes, Points: cfg.Points}
+
+	db := tsdb.Open(tsdb.Options{})
+	defer db.Close()
+	agg, err := fed.NewAggregator(fed.AggConfig{Listen: "127.0.0.1:0"}, db)
+	if err != nil {
+		return res, err
+	}
+	defer agg.Close()
+
+	tmp, err := os.MkdirTemp("", "ruru-e14-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Pre-marshal one payload per city pair; publishing is then cheap
+	// enough that the probes' drain rate is what is measured.
+	payloads := make([][]byte, 16)
+	for i := range payloads {
+		e := analytics.Enriched{
+			Time: int64(i+1) * 1e6, InternalNs: 15e6, ExternalNs: 130e6, TotalNs: 145e6,
+			Src: analytics.Endpoint{City: fmt.Sprintf("SrcCity%d", i), CountryCode: "NZ", ASN: 64000},
+			Dst: analytics.Endpoint{City: "Los Angeles", CountryCode: "US", ASN: 64500},
+		}
+		payloads[i] = analytics.MarshalEnriched(nil, &e)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type probeRig struct {
+		bus  *mq.Bus
+		pr   *fed.Probe
+		id   string
+		dir  string
+		done chan struct{}
+	}
+	start := func(id, dir string) (*probeRig, error) {
+		rig := &probeRig{bus: mq.NewBus(), id: id, dir: dir, done: make(chan struct{})}
+		pr, err := fed.NewProbe(fed.ProbeConfig{
+			Addr: agg.Addr().String(), ID: id, SpoolDir: dir,
+			BatchSize: cfg.Batch, FlushEvery: 20 * time.Millisecond,
+		}, rig.bus)
+		if err != nil {
+			return nil, err
+		}
+		rig.pr = pr
+		go func() { pr.Run(ctx); close(rig.done) }()
+		return rig, nil
+	}
+
+	rigs := make([]*probeRig, cfg.Probes)
+	for i := range rigs {
+		if rigs[i], err = start(fmt.Sprintf("probe-%d", i),
+			fmt.Sprintf("%s/p%d", tmp, i)); err != nil {
+			return res, err
+		}
+	}
+
+	// Flow-controlled publishing: keep the publish-ahead backlog under the
+	// subscription HWM so no measurement is shed (this experiment measures
+	// delivery, not backpressure policy).
+	publish := func(rig *probeRig, from, to int) {
+		base := rig.pr.Stats().PointsOut
+		for i := from; i < to; i++ {
+			for {
+				st := rig.pr.Stats()
+				if uint64(i-from)-(st.PointsOut-base) < mq.DefaultHWM/2 {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			rig.bus.Publish(mq.Message{Topic: analytics.TopicEnriched,
+				Payload: payloads[i%len(payloads)]})
+		}
+	}
+	waitApplied := func(want uint64, d time.Duration) error {
+		deadline := time.Now().Add(d)
+		for {
+			written, _ := db.WriteStats()
+			if written >= want {
+				if written > want {
+					return fmt.Errorf("over-applied: %d > %d", written, want)
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out at %d/%d applied", written, want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	began := time.Now()
+	half := cfg.Points / 2
+
+	// Leg 1: first half at full speed, then a fleet-wide disconnect.
+	for _, rig := range rigs {
+		go publish(rig, 0, half)
+	}
+	if err := waitApplied(uint64(cfg.Probes*half), 2*time.Minute); err != nil {
+		return res, err
+	}
+	agg.DropConnections()
+
+	// Leg 2: crash the whole fleet without Close — kill -9 semantics, each
+	// spool left exactly as the crash left it (ACKED possibly stale) —
+	// restart every probe from its own spool under the same identity, then
+	// stream the second half.
+	cancel()
+	for _, rig := range rigs {
+		<-rig.done
+		rig.bus.Close()
+	}
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	for i := range rigs {
+		if rigs[i], err = start(rigs[i].id, rigs[i].dir); err != nil {
+			return res, err
+		}
+	}
+	for _, rig := range rigs {
+		go publish(rig, half, cfg.Points)
+	}
+	if err := waitApplied(uint64(cfg.Probes*cfg.Points), 2*time.Minute); err != nil {
+		return res, err
+	}
+	took := time.Since(began)
+
+	// Settle, then assert nothing trickled in twice.
+	time.Sleep(100 * time.Millisecond)
+	written, _ := db.WriteStats()
+	st := agg.Stats()
+	res.Sent = uint64(cfg.Probes * cfg.Points)
+	res.Applied = written
+	res.Duplicates = st.DupBatches
+	for _, rig := range rigs {
+		res.Resent += rig.pr.Stats().BatchesResent
+	}
+	res.ExactlyOnce = res.Applied == res.Sent
+	res.Rate = float64(res.Applied) / took.Seconds()
+
+	cancel()
+	for _, rig := range rigs {
+		<-rig.done
+		rig.pr.Close()
+		rig.bus.Close()
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "E14: federation throughput/recovery (%d probes × %d points, batch %d)\n",
+			cfg.Probes, cfg.Points, cfg.Batch)
+		fmt.Fprintf(w, "  end-to-end rate          %12.0f points/s (incl. fleet disconnect + restart)\n", res.Rate)
+		fmt.Fprintf(w, "  sent / applied           %12d / %d\n", res.Sent, res.Applied)
+		fmt.Fprintf(w, "  resent batches           %12d (dedup absorbed %d)\n", res.Resent, res.Duplicates)
+		fmt.Fprintf(w, "  exactly-once             %12v\n", res.ExactlyOnce)
+	}
+	if !res.ExactlyOnce {
+		return res, fmt.Errorf("exactly-once violated: sent %d, applied %d", res.Sent, res.Applied)
+	}
+	return res, nil
+}

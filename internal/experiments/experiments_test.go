@@ -332,3 +332,16 @@ func TestE13Durability(t *testing.T) {
 		t.Fatalf("rates not measured: %+v", res)
 	}
 }
+
+func TestE14Federation(t *testing.T) {
+	res, err := E14(E14Config{Probes: 2, Points: 4000, Batch: 64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %+v", res)
+	}
+	if res.Applied != res.Sent || res.Sent != 8000 {
+		t.Fatalf("sent %d applied %d", res.Sent, res.Applied)
+	}
+}

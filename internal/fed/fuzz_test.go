@@ -1,0 +1,83 @@
+package fed
+
+// Native fuzz target for the federation frame decoder — the aggregator
+// parses these bytes from any host that can reach its listen port, so the
+// decode stack (hello/ack/batch framing, then the dictionary+delta record
+// codec) must never panic or over-allocate on arbitrary input, and a batch
+// whose CRC fails must never reach the record decoder. Corpus
+// regeneration: RURU_UPDATE=1 (see docs/TESTING.md).
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ruru/internal/tsdb"
+)
+
+// fuzzFrameSeeds builds valid payloads of every frame kind plus corrupted
+// variants.
+func fuzzFrameSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var enc tsdb.RecordEncoder
+	record := enc.AppendRecord(nil, spoolPoints(8, 100))
+	batch := appendBatch(nil, 7, record)
+	corrupt := append([]byte(nil), batch...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	shortRec := appendBatch(nil, 8, record[:len(record)/2]) // CRC of a truncated record: valid frame, decoder must cope
+	return [][]byte{
+		appendHello(nil, "probe-1"),
+		appendSeq(nil, 42),
+		batch,
+		corrupt,
+		shortRec,
+		record, // raw record bytes (exercises parse* rejections)
+	}
+}
+
+// FuzzRemoteWriteDecode drives every parser an aggregator applies to
+// untrusted bytes, including the record decode behind a passing CRC.
+func FuzzRemoteWriteDecode(f *testing.F) {
+	for _, s := range fuzzFrameSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if id, err := parseHello(data); err == nil && id == "" {
+			t.Fatal("parseHello accepted an empty probe id")
+		}
+		parseSeq(data)
+		seq, record, err := parseBatch(data)
+		if err != nil {
+			return
+		}
+		_ = seq
+		// CRC passed: the record decoder still must not trust the bytes.
+		points := 0
+		tsdb.DecodeRecord(record, func(p *tsdb.Point) error {
+			points++
+			return nil
+		})
+		if points > len(record) {
+			t.Fatalf("decoded %d points from %d record bytes", points, len(record))
+		}
+	})
+}
+
+// TestWriteFedFuzzCorpus regenerates testdata/fuzz/FuzzRemoteWriteDecode.
+// Run with RURU_UPDATE=1; skipped otherwise.
+func TestWriteFedFuzzCorpus(t *testing.T) {
+	if os.Getenv("RURU_UPDATE") == "" {
+		t.Skip("set RURU_UPDATE=1 to regenerate the fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRemoteWriteDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzFrameSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+strconv.Itoa(i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

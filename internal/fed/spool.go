@@ -1,0 +1,305 @@
+package fed
+
+// The probe's on-disk spool: every batch is appended here, with its
+// sequence number, before it is eligible to be sent — so a probe that
+// crashes (kill -9 included) reloads its unacked batches on restart and
+// resends them, and an acked batch can be forgotten everywhere.
+//
+// Layout under the spool directory:
+//
+//	00000001.sp ...   segment files: 8B magic, then records of
+//	                  [8B seq][4B len][4B CRC-32C][record]
+//	ACKED             highest acked seq, written atomically (tmp+rename),
+//	                  throttled — it may lag the true ack watermark, which
+//	                  is safe: resending an acked batch is a no-op at the
+//	                  aggregator's dedup, and the hello ack re-syncs the
+//	                  probe on connect.
+//
+// Appends go straight to the file descriptor (no userspace buffering), so
+// a process crash loses at most the record being written — which was never
+// acked. No fsync: the spool protects against process death, not power
+// loss; the aggregator's WAL owns power-loss durability once a batch is
+// acked. A torn record tail (crash mid-append) is detected by length/CRC
+// and tolerated at the end of any segment, counted in tornTails.
+//
+// The spool is not safe for concurrent use; the Probe serializes access
+// under its own mutex.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	spoolMagic      = "RUSP0001"
+	spoolSuffix     = ".sp"
+	spoolFrameBytes = 16 // 8B seq + 4B len + 4B CRC
+	ackedName       = "ACKED"
+	// ackPersistEvery throttles ACKED rewrites: persist when the watermark
+	// has advanced this many batches past the persisted value (and always
+	// on segment pruning and Close).
+	ackPersistEvery = 32
+	defaultSpoolSeg = 4 << 20
+)
+
+// spoolRec is one spooled, not-yet-acked batch held in memory for sending.
+type spoolRec struct {
+	seq     uint64
+	payload []byte // self-contained record encoding (no frame header)
+	sent    bool   // sent at least once on some connection
+}
+
+type spoolSeg struct {
+	idx    uint64
+	maxSeq uint64
+	bytes  int64
+}
+
+type spool struct {
+	dir    string
+	maxSeg int64
+
+	f        *os.File
+	segs     []spoolSeg // ascending; last is the open segment
+	bytes    int64      // sum of segs[].bytes
+	nextSeq  uint64     // next sequence number to assign
+	acked    uint64     // in-memory ack watermark
+	persIdx  uint64     // acked value last written to ACKED
+	tornTail uint64     // torn/corrupt tails tolerated during open
+	// poisoned marks the open segment's tail as possibly mid-frame (an
+	// append's Write failed partway): the next append must rotate onto a
+	// fresh segment first, because the crash scanner stops at the first
+	// bad frame — records appended after a torn one in the SAME segment
+	// would be silently unrecoverable. Same discipline as the WAL writer.
+	poisoned bool
+}
+
+func spoolSegName(idx uint64) string {
+	return fmt.Sprintf("%08d%s", idx, spoolSuffix)
+}
+
+// openSpool loads dir, returning the spool armed on a fresh segment plus
+// every record not yet covered by the persisted ack watermark, in sequence
+// order.
+func openSpool(dir string, maxSeg int64) (*spool, []spoolRec, error) {
+	if maxSeg <= 0 {
+		maxSeg = defaultSpoolSeg
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &spool{dir: dir, maxSeg: maxSeg, nextSeq: 1}
+	if b, err := os.ReadFile(filepath.Join(dir, ackedName)); err == nil {
+		if n, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); err == nil {
+			s.acked, s.persIdx = n, n
+			if n+1 > s.nextSeq {
+				s.nextSeq = n + 1
+			}
+		}
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, spoolSuffix) {
+			continue
+		}
+		if n, err := strconv.ParseUint(strings.TrimSuffix(name, spoolSuffix), 10, 64); err == nil {
+			idxs = append(idxs, n)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	var pending []spoolRec
+	for _, idx := range idxs {
+		path := filepath.Join(dir, spoolSegName(idx))
+		seg, recs, torn, err := scanSpoolSegment(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.tornTail += torn
+		seg.idx = idx
+		if seg.maxSeq <= s.acked && seg.maxSeq > 0 || seg.bytes <= int64(len(spoolMagic)) {
+			// Fully acked (or empty): reclaim now.
+			os.Remove(path)
+		} else {
+			s.segs = append(s.segs, seg)
+			s.bytes += seg.bytes
+		}
+		for _, r := range recs {
+			if r.seq > s.acked {
+				pending = append(pending, r)
+			}
+			if r.seq+1 > s.nextSeq {
+				s.nextSeq = r.seq + 1
+			}
+		}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+
+	// Arm a fresh segment after everything on disk: a possibly-torn old
+	// tail is never appended to.
+	first := uint64(1)
+	if len(idxs) > 0 {
+		first = idxs[len(idxs)-1] + 1
+	}
+	if err := s.openSegment(first); err != nil {
+		return nil, nil, err
+	}
+	return s, pending, nil
+}
+
+// scanSpoolSegment reads one segment's records. A bad magic, short frame
+// or CRC mismatch ends the scan (torn=1): only the tail of a segment can
+// be torn, because appends are sequential and rotation happens between
+// records.
+func scanSpoolSegment(path string) (seg spoolSeg, recs []spoolRec, torn uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return seg, nil, 0, err
+	}
+	defer f.Close()
+	var magic [len(spoolMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != spoolMagic {
+		return seg, nil, 1, nil
+	}
+	seg.bytes = int64(len(spoolMagic))
+	var hdr [spoolFrameBytes]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err != io.EOF {
+				torn++
+			}
+			return seg, recs, torn, nil
+		}
+		seq := binary.LittleEndian.Uint64(hdr[0:8])
+		length := binary.LittleEndian.Uint32(hdr[8:12])
+		want := binary.LittleEndian.Uint32(hdr[12:16])
+		if int64(length) > maxRecordBytes {
+			return seg, recs, torn + 1, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return seg, recs, torn + 1, nil
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return seg, recs, torn + 1, nil
+		}
+		recs = append(recs, spoolRec{seq: seq, payload: payload})
+		if seq > seg.maxSeq {
+			seg.maxSeq = seq
+		}
+		seg.bytes += spoolFrameBytes + int64(length)
+	}
+}
+
+func (s *spool) openSegment(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, spoolSegName(idx)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(spoolMagic); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	s.f = f
+	s.segs = append(s.segs, spoolSeg{idx: idx, bytes: int64(len(spoolMagic))})
+	s.bytes += int64(len(spoolMagic))
+	return nil
+}
+
+// cur returns the open segment's bookkeeping entry.
+func (s *spool) cur() *spoolSeg { return &s.segs[len(s.segs)-1] }
+
+// append frames and writes one record, rotating first when the open
+// segment is full. One Write call per record: a crash can tear only the
+// record being written.
+func (s *spool) append(seq uint64, record []byte) error {
+	need := int64(spoolFrameBytes + len(record))
+	if c := s.cur(); s.poisoned || (c.bytes+need > s.maxSeg && c.bytes > int64(len(spoolMagic))) {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+		s.poisoned = false
+	}
+	buf := make([]byte, spoolFrameBytes, spoolFrameBytes+len(record))
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(record)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(record, crcTable))
+	buf = append(buf, record...)
+	if _, err := s.f.Write(buf); err != nil {
+		// The tail may now hold a partial frame: poison so the next append
+		// rotates instead of burying good records behind the tear.
+		s.poisoned = true
+		return err
+	}
+	c := s.cur()
+	c.bytes += need
+	s.bytes += need
+	if seq > c.maxSeq {
+		c.maxSeq = seq
+	}
+	if seq+1 > s.nextSeq {
+		s.nextSeq = seq + 1
+	}
+	return nil
+}
+
+func (s *spool) rotate() error {
+	next := s.cur().idx + 1
+	s.f.Close()
+	return s.openSegment(next)
+}
+
+// ack advances the watermark, deletes fully-acked closed segments and
+// persists ACKED (throttled).
+func (s *spool) ack(seq uint64) {
+	if seq <= s.acked {
+		return
+	}
+	s.acked = seq
+	pruned := false
+	for len(s.segs) > 1 { // never delete the open segment
+		seg := s.segs[0]
+		if seg.maxSeq > seq {
+			break
+		}
+		os.Remove(filepath.Join(s.dir, spoolSegName(seg.idx)))
+		s.bytes -= seg.bytes
+		s.segs = s.segs[1:]
+		pruned = true
+	}
+	if pruned || s.acked-s.persIdx >= ackPersistEvery {
+		s.persistAcked()
+	}
+}
+
+// persistAcked writes the watermark atomically. Failure is tolerated
+// (stale ACKED only causes redundant, deduplicated resends).
+func (s *spool) persistAcked() {
+	tmp := filepath.Join(s.dir, ackedName+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(s.acked, 10)+"\n"), 0o644); err != nil {
+		return
+	}
+	if os.Rename(tmp, filepath.Join(s.dir, ackedName)) == nil {
+		s.persIdx = s.acked
+	}
+}
+
+func (s *spool) close() error {
+	s.persistAcked()
+	return s.f.Close()
+}

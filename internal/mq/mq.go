@@ -204,6 +204,30 @@ func (f *frameReader) ReadByte() (byte, error) {
 	return f.b[0], nil
 }
 
+// WriteFrame writes one frame in the TCP transport's wire format (uvarint
+// topic and payload lengths, then the bytes). It is the framing layer
+// point-to-point protocols built on this transport reuse — the federation
+// probe↔aggregator stream (internal/fed) speaks frames in both directions
+// over one connection, unlike the one-way PUB/SUB endpoints below.
+func WriteFrame(w io.Writer, msg Message) error { return writeFrame(w, msg) }
+
+// FrameReader decodes the TCP transport's frames from a byte stream. Each
+// returned Message owns its buffers. Not safe for concurrent use.
+type FrameReader struct {
+	fr frameReader
+}
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{fr: frameReader{r: r}}
+}
+
+// Read blocks for the next frame. Oversized length prefixes fail with
+// ErrFrameTooBig before any allocation is attempted.
+func (r *FrameReader) Read() (Message, error) {
+	return readFrame(&r.fr)
+}
+
 // --- TCP publisher endpoint ---
 
 // TCPPublisher bridges a Bus onto a TCP listener: every remote subscriber

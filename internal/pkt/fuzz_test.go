@@ -1,0 +1,171 @@
+package pkt
+
+// Native fuzz target for the frame parser — the first code in the pipeline
+// to touch attacker-controlled bytes. The parser's contract under garbage
+// is: never panic, never reference memory outside the frame, always keep
+// Decoded/Stats consistent. Seeds cover every decode path (IPv4, IPv6,
+// VLAN, QinQ, TCP options, UDP, fragments, non-IP) and the checked-in
+// corpus under testdata/fuzz/FuzzParsePacket adds truncated and bit-flipped
+// variants; plain `go test` replays all of them, CI additionally runs a
+// short `-fuzz` smoke. Regenerate the corpus files with RURU_UPDATE=1
+// (see docs/TESTING.md).
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedFrames builds one representative frame per parser path.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	buf := make([]byte, 256)
+	var seeds [][]byte
+	add := func(n int, err error) {
+		if err != nil {
+			tb.Fatalf("building seed frame: %v", err)
+		}
+		seeds = append(seeds, append([]byte(nil), buf[:n]...))
+	}
+
+	v4a := netip.MustParseAddr("16.1.2.3")
+	v4b := netip.MustParseAddr("17.64.0.9")
+	v6a := netip.MustParseAddr("2001:db8::1")
+	v6b := netip.MustParseAddr("2001:db8:0:1::9")
+
+	// IPv4 SYN.
+	add(BuildTCPFrame(buf, &TCPFrameSpec{
+		Src: v4a, Dst: v4b, SrcPort: 40000, DstPort: 443,
+		Seq: 1000, Flags: TCPSyn, Window: 65535,
+	}))
+	// IPv4 ACK with options and payload.
+	add(BuildTCPFrame(buf, &TCPFrameSpec{
+		Src: v4b, Dst: v4a, SrcPort: 443, DstPort: 40000,
+		Seq: 2000, Ack: 1001, Flags: TCPAck, Window: 1024,
+		Options: []byte{8, 10, 0, 0, 0, 1, 0, 0, 0, 2, 1, 1},
+		Payload: []byte("GET / HTTP/1.1"),
+	}))
+	// VLAN-tagged SYN.
+	add(BuildTCPFrame(buf, &TCPFrameSpec{
+		VLAN: 42, Src: v4a, Dst: v4b, SrcPort: 40001, DstPort: 80,
+		Seq: 7, Flags: TCPSyn,
+	}))
+	// QinQ: encode a two-tag Ethernet header by hand, then an IPv4/TCP
+	// frame body spliced after it.
+	n, err := BuildTCPFrame(buf, &TCPFrameSpec{
+		VLAN: 100, Src: v4a, Dst: v4b, SrcPort: 40002, DstPort: 80,
+		Seq: 9, Flags: TCPSyn,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qinq := make([]byte, 0, n+VLANTagLen)
+	qinq = append(qinq, buf[:12]...)           // MACs
+	qinq = append(qinq, 0x88, 0xa8, 0x00, 200) // outer 802.1ad tag, VID 200
+	qinq = append(qinq, buf[12:n]...)          // inner 802.1Q tag + rest
+	seeds = append(seeds, qinq)
+	// IPv6 SYN.
+	add(BuildTCPFrame(buf, &TCPFrameSpec{
+		Src: v6a, Dst: v6b, SrcPort: 50000, DstPort: 443,
+		Seq: 77, Flags: TCPSyn,
+	}))
+	// UDP.
+	add(BuildUDPFrame(buf, MAC{1}, MAC{2}, v4a, v4b, 5353, 5353, []byte("dns?")))
+	// Non-IP ethertype (ARP).
+	arp := append([]byte(nil), buf[:EthernetHeaderLen]...)
+	arp[12], arp[13] = 0x08, 0x06
+	seeds = append(seeds, arp)
+	// IPv4 fragment: rebuild the SYN with a fragment offset and fixed
+	// checksum bytes zeroed (the parser only checksums when asked).
+	fragN, err := BuildTCPFrame(buf, &TCPFrameSpec{
+		Src: v4a, Dst: v4b, SrcPort: 40003, DstPort: 443, Seq: 1, Flags: TCPSyn,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	frag := append([]byte(nil), buf[:fragN]...)
+	frag[EthernetHeaderLen+6] = 0x20 // more-fragments, offset 8
+	frag[EthernetHeaderLen+7] = 0x01
+	seeds = append(seeds, frag)
+	return seeds
+}
+
+func FuzzParsePacket(f *testing.F) {
+	for _, s := range fuzzSeedFrames(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, verify := range []bool{false, true} {
+			p := Parser{VerifyChecksums: verify}
+			var s Summary
+			err := p.Parse(data, &s)
+			if p.Stats.Frames != 1 {
+				t.Fatalf("Frames = %d after one Parse", p.Stats.Frames)
+			}
+			if err != nil {
+				continue
+			}
+			// Decoded-layer consistency: transport implies network,
+			// network implies Ethernet, and the IPv6 flag matches.
+			if s.Decoded&(LayerTCP|LayerUDP) != 0 && s.Decoded&(LayerIPv4|LayerIPv6) == 0 {
+				t.Fatalf("transport decoded without network: %b", s.Decoded)
+			}
+			if s.Decoded&(LayerIPv4|LayerIPv6) != 0 && s.Decoded&LayerEthernet == 0 {
+				t.Fatalf("network decoded without Ethernet: %b", s.Decoded)
+			}
+			if s.Decoded&LayerIPv4 != 0 && s.IPv6 || s.Decoded&LayerIPv6 != 0 && !s.IPv6 {
+				t.Fatalf("IPv6 flag inconsistent with Decoded %b", s.Decoded)
+			}
+			// Payload must be a view into the frame, never larger than it.
+			if len(s.Payload) > len(data) {
+				t.Fatalf("payload %d bytes from a %d-byte frame", len(s.Payload), len(data))
+			}
+			if s.Decoded&(LayerIPv4|LayerIPv6) != 0 {
+				if !s.Src().IsValid() || !s.Dst().IsValid() {
+					t.Fatalf("decoded network layer with invalid addresses")
+				}
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus
+// (testdata/fuzz/FuzzParsePacket) from the builder seeds plus truncated
+// and bit-flipped variants. Run with RURU_UPDATE=1; skipped otherwise.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("RURU_UPDATE") == "" {
+		t.Skip("set RURU_UPDATE=1 to regenerate the fuzz corpus")
+	}
+	seeds := fuzzSeedFrames(t)
+	var all [][]byte
+	for _, s := range seeds {
+		all = append(all, s)
+		if len(s) > 15 {
+			all = append(all, s[:len(s)/2], s[:15]) // truncations
+			flip := append([]byte(nil), s...)
+			flip[len(flip)/3] ^= 0xff // corrupt a header byte
+			all = append(all, flip)
+		}
+	}
+	writeCorpusFiles(t, "FuzzParsePacket", all)
+}
+
+// writeCorpusFiles emits Go fuzz corpus files (version 1 encoding, one
+// []byte argument) under testdata/fuzz/<name>/seed-NNN.
+func writeCorpusFiles(t *testing.T, name string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		path := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus files to %s", len(seeds), dir)
+}

@@ -1,0 +1,476 @@
+package ruru
+
+// The golden pcap corpus: small synthetic captures checked in under
+// testdata/golden/*.pcap, each paired with a hand-scripted per-flow oracle
+// (*.oracle.json) — exact engine counters, exact per-flow latencies, exact
+// loss-accounting ledger. TestGoldenCorpus replays each capture through
+// the FULL pipeline (nic classify → engine → enricher → sharded sink →
+// TSDB) and compares bit-exact, which pins the end-to-end measurement
+// semantics: VLAN/QinQ decapsulation, IPv6, SYN|RST handling, retransmit
+// timestamping ("measure from the first SYN"), midstream/orphan
+// classification, and the Completed == DBPoints + losses ledger.
+//
+// The oracles are computed from the capture SCRIPTS (the timestamps the
+// frames were built with), never from pipeline output — a regression in
+// the pipeline cannot regenerate itself into the expectation. Regenerate
+// both artifacts after an intentional format change with RURU_UPDATE=1
+// (see docs/TESTING.md).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"ruru/internal/geo"
+	"ruru/internal/nic"
+	"ruru/internal/pcap"
+	"ruru/internal/pkt"
+)
+
+// goldenFlow is one expected completed measurement.
+type goldenFlow struct {
+	SrcCity    string `json:"src_city"`
+	SrcCC      string `json:"src_cc"`
+	DstCity    string `json:"dst_city"`
+	DstCC      string `json:"dst_cc"`
+	InternalNs int64  `json:"internal_ns"`
+	ExternalNs int64  `json:"external_ns"`
+	TotalNs    int64  `json:"total_ns"`
+	Time       int64  `json:"time"`
+	SYNRetrans uint8  `json:"syn_retrans"`
+	IPv6       bool   `json:"ipv6"`
+}
+
+// goldenOracle is one capture's full expectation.
+type goldenOracle struct {
+	// Packets is the number of records in the capture file; Replayed how
+	// many the replayer must deliver (fewer only for Truncated captures,
+	// which must also surface pcap.ErrTruncated).
+	Packets   int  `json:"packets"`
+	Replayed  int  `json:"replayed"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Deterministic engine counters (expiry-driven ones excluded — they
+	// depend on amortized sweep timing, not on the capture).
+	TCPPackets    uint64 `json:"tcp_packets"`
+	SYNs          uint64 `json:"syns"`
+	SYNRetrans    uint64 `json:"syn_retrans"`
+	SYNACKs       uint64 `json:"synacks"`
+	OrphanSYNACKs uint64 `json:"orphan_synacks"`
+	Completed     uint64 `json:"completed"`
+	Aborted       uint64 `json:"aborted"`
+	MidstreamACKs uint64 `json:"midstream_acks"`
+	InvalidACKs   uint64 `json:"invalid_acks"`
+	// Flows are the expected measurements, sorted by (Time, SrcCity).
+	Flows []goldenFlow `json:"flows"`
+}
+
+type goldenCapture struct {
+	name   string
+	pcap   []byte
+	oracle goldenOracle
+}
+
+// capB scripts one capture: frames into an in-memory pcap, expectations
+// into the oracle, both from the same arguments.
+type capB struct {
+	tb    testing.TB
+	world *geo.World
+	buf   bytes.Buffer
+	pw    *pcap.Writer
+	o     goldenOracle
+}
+
+func newCapB(tb testing.TB, w *geo.World) *capB {
+	b := &capB{tb: tb, world: w}
+	pw, err := pcap.NewWriter(&b.buf, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.pw = pw
+	return b
+}
+
+// tcp builds one TCP frame (optionally QinQ-encapsulated) and records it.
+func (b *capB) tcp(ts int64, qinq bool, spec pkt.TCPFrameSpec) {
+	spec.SrcMAC, spec.DstMAC = pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}
+	buf := make([]byte, pkt.TCPFrameLen(&spec)+pkt.VLANTagLen)
+	n, err := pkt.BuildTCPFrame(buf, &spec)
+	if err != nil {
+		b.tb.Fatal(err)
+	}
+	frame := buf[:n]
+	if qinq {
+		// Splice an outer 802.1ad tag ahead of the inner 802.1Q one the
+		// builder emitted: [MACs][0x88a8 outer][0x8100 inner][payload].
+		q := make([]byte, 0, n+pkt.VLANTagLen)
+		q = append(q, frame[:12]...)
+		q = append(q, 0x88, 0xa8, 0x00, 200)
+		q = append(q, frame[12:]...)
+		frame = q
+	}
+	if err := b.pw.WritePacket(ts, frame); err != nil {
+		b.tb.Fatal(err)
+	}
+	b.o.Packets++
+	b.o.TCPPackets++
+}
+
+// udp writes one UDP background frame (parsed, ignored by the engine).
+func (b *capB) udp(ts int64, src, dst int) {
+	buf := make([]byte, 256)
+	n, err := pkt.BuildUDPFrame(buf, pkt.MAC{2, 1}, pkt.MAC{2, 2},
+		b.world.Addr(src, 1, 9), b.world.Addr(dst, 1, 9), 5353, 5353, []byte("mdns"))
+	if err != nil {
+		b.tb.Fatal(err)
+	}
+	if err := b.pw.WritePacket(ts, buf[:n]); err != nil {
+		b.tb.Fatal(err)
+	}
+	b.o.Packets++
+}
+
+// hsOpts tweaks one scripted handshake.
+type hsOpts struct {
+	v6        bool
+	vlan      uint16
+	qinq      bool
+	retransAt int64 // retransmit the SYN at this ts (0 = no retransmit)
+	rstAt     int64 // abort with a server RST at this ts instead of completing
+	dataAt    int64 // client data segment after completion (counts midstream)
+	synOnly   bool  // leave the handshake dangling after the SYN
+}
+
+// handshake scripts one flow: SYN at t0, SYN-ACK after extNs, ACK after a
+// further intNs — and the oracle rows those frames must produce.
+func (b *capB) handshake(t0 int64, srcCity, dstCity int, host uint32, cport, sport uint16, extNs, intNs int64, o hsOpts) {
+	var cAddr, sAddr = b.world.Addr(srcCity, 0, host), b.world.Addr(dstCity, 0, host+1000)
+	if o.v6 {
+		cAddr, sAddr = b.world.Addr6(srcCity, 0, uint64(host)), b.world.Addr6(dstCity, 0, uint64(host)+1000)
+	}
+	clientISN := 1000 + host
+	serverISN := 900000 + host
+	retrans := uint8(0)
+
+	b.tcp(t0, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: cAddr, Dst: sAddr,
+		SrcPort: cport, DstPort: sport, Seq: clientISN, Flags: pkt.TCPSyn, Window: 65535})
+	b.o.SYNs++
+	if o.synOnly {
+		return
+	}
+	if o.retransAt > 0 {
+		b.tcp(o.retransAt, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: cAddr, Dst: sAddr,
+			SrcPort: cport, DstPort: sport, Seq: clientISN, Flags: pkt.TCPSyn, Window: 65535})
+		b.o.SYNRetrans++
+		retrans = 1
+	}
+	b.tcp(t0+extNs, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: sAddr, Dst: cAddr,
+		SrcPort: sport, DstPort: cport, Seq: serverISN, Ack: clientISN + 1,
+		Flags: pkt.TCPSyn | pkt.TCPAck, Window: 65535})
+	b.o.SYNACKs++
+	if o.rstAt > 0 {
+		b.tcp(o.rstAt, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: sAddr, Dst: cAddr,
+			SrcPort: sport, DstPort: cport, Seq: serverISN + 1, Flags: pkt.TCPRst})
+		b.o.Aborted++
+		return
+	}
+	ackTS := t0 + extNs + intNs
+	b.tcp(ackTS, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: cAddr, Dst: sAddr,
+		SrcPort: cport, DstPort: sport, Seq: clientISN + 1, Ack: serverISN + 1,
+		Flags: pkt.TCPAck, Window: 65535})
+	b.o.Completed++
+	srcC, dstC := &b.world.Cities[srcCity], &b.world.Cities[dstCity]
+	b.o.Flows = append(b.o.Flows, goldenFlow{
+		SrcCity: srcC.Name, SrcCC: srcC.CountryCode,
+		DstCity: dstC.Name, DstCC: dstC.CountryCode,
+		InternalNs: intNs, ExternalNs: extNs, TotalNs: extNs + intNs,
+		Time: ackTS, SYNRetrans: retrans, IPv6: o.v6,
+	})
+	if o.dataAt > 0 {
+		b.tcp(o.dataAt, o.qinq, pkt.TCPFrameSpec{VLAN: o.vlan, Src: cAddr, Dst: sAddr,
+			SrcPort: cport, DstPort: sport, Seq: clientISN + 1, Ack: serverISN + 1,
+			Flags: pkt.TCPAck, Window: 65535, Payload: []byte("GET /")})
+		b.o.MidstreamACKs++
+	}
+}
+
+// orphanSYNACK scripts a SYN-ACK with no pending SYN (asymmetric route).
+func (b *capB) orphanSYNACK(ts int64, srcCity, dstCity int, host uint32) {
+	b.tcp(ts, false, pkt.TCPFrameSpec{
+		Src: b.world.Addr(srcCity, 0, host), Dst: b.world.Addr(dstCity, 0, host+1),
+		SrcPort: 443, DstPort: 55555, Seq: 1, Ack: 2,
+		Flags: pkt.TCPSyn | pkt.TCPAck})
+	b.o.OrphanSYNACKs++
+}
+
+func (b *capB) finish(name string) goldenCapture {
+	if err := b.pw.Flush(); err != nil {
+		b.tb.Fatal(err)
+	}
+	o := b.o
+	o.Replayed = o.Packets
+	sort.SliceStable(o.Flows, func(i, j int) bool {
+		if o.Flows[i].Time != o.Flows[j].Time {
+			return o.Flows[i].Time < o.Flows[j].Time
+		}
+		return o.Flows[i].SrcCity < o.Flows[j].SrcCity
+	})
+	return goldenCapture{name: name, pcap: append([]byte(nil), b.buf.Bytes()...), oracle: o}
+}
+
+// goldenWorld is the deterministic geo mapping the captures are scripted
+// against: no mislabels, so CityOf ground truth equals DB lookups.
+func goldenWorld(tb testing.TB) *geo.World {
+	w, err := geo.NewWorld(geo.WorldOptions{Seed: 1, MislabelFraction: 0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// goldenCaptures scripts the whole corpus. City indexes: 0 Auckland,
+// 1 Los Angeles, 4 Sydney, 12 Tokyo.
+func goldenCaptures(tb testing.TB) []goldenCapture {
+	w := goldenWorld(tb)
+	var caps []goldenCapture
+
+	// Plain IPv4: three complete handshakes, one trailing data segment,
+	// one orphan SYN-ACK, one UDP background frame.
+	b := newCapB(tb, w)
+	b.handshake(0, 0, 1, 10, 40001, 443, 140e6, 15e6, hsOpts{dataAt: 170e6})
+	b.handshake(5e6, 4, 1, 20, 40002, 443, 40e6, 10e6, hsOpts{})
+	b.handshake(10e6, 0, 12, 30, 40003, 8443, 180e6, 20e6, hsOpts{})
+	b.orphanSYNACK(60e6, 1, 0, 70)
+	b.udp(65e6, 0, 1)
+	caps = append(caps, b.finish("ipv4_basic"))
+
+	// IPv6: two complete handshakes.
+	b = newCapB(tb, w)
+	b.handshake(0, 0, 1, 40, 50001, 443, 130e6, 12e6, hsOpts{v6: true})
+	b.handshake(8e6, 12, 4, 50, 50002, 443, 95e6, 18e6, hsOpts{v6: true})
+	caps = append(caps, b.finish("ipv6"))
+
+	// VLAN + QinQ: one 802.1Q flow, one double-tagged flow.
+	b = newCapB(tb, w)
+	b.handshake(0, 0, 1, 60, 41001, 443, 150e6, 16e6, hsOpts{vlan: 42})
+	b.handshake(4e6, 4, 12, 61, 41002, 443, 110e6, 14e6, hsOpts{vlan: 100, qinq: true})
+	caps = append(caps, b.finish("vlan_qinq"))
+
+	// SYN|RST abort semantics: a handshake aborted by RST after the
+	// SYN-ACK, a lone SYN|RST (must not insert), a dangling SYN, and one
+	// complete flow to prove the table survived.
+	b = newCapB(tb, w)
+	b.handshake(0, 0, 1, 80, 42001, 443, 50e6, 10e6, hsOpts{rstAt: 65e6})
+	b.tcp(5e6, false, pkt.TCPFrameSpec{ // SYN|RST: the PR-2 regression
+		Src: w.Addr(1, 0, 81), Dst: w.Addr(0, 0, 82),
+		SrcPort: 43001, DstPort: 443, Seq: 7, Flags: pkt.TCPSyn | pkt.TCPRst})
+	b.handshake(10e6, 4, 1, 83, 42002, 443, 45e6, 9e6, hsOpts{synOnly: true})
+	b.handshake(15e6, 0, 12, 84, 42003, 443, 175e6, 21e6, hsOpts{})
+	caps = append(caps, b.finish("syn_rst"))
+
+	// Retransmitted handshake: latency measured from the FIRST SYN.
+	b = newCapB(tb, w)
+	b.handshake(0, 0, 1, 90, 44001, 443, 90e6, 13e6, hsOpts{retransAt: 30e6})
+	b.handshake(6e6, 4, 1, 91, 44002, 443, 60e6, 11e6, hsOpts{})
+	caps = append(caps, b.finish("retrans"))
+
+	// Truncated capture: the ipv4-shaped script cut mid-record (tcpdump
+	// killed mid-write). Everything before the cut must still be measured
+	// and the replayer must report pcap.ErrTruncated, not fail.
+	b = newCapB(tb, w)
+	b.handshake(0, 0, 1, 95, 45001, 443, 120e6, 17e6, hsOpts{})
+	b.handshake(5e6, 4, 12, 96, 45002, 443, 85e6, 12e6, hsOpts{})
+	full := b.finish("truncated")
+	full.pcap = full.pcap[:len(full.pcap)-9] // tear the final record
+	full.oracle.Truncated = true
+	full.oracle.Replayed = full.oracle.Packets - 1
+	// The torn final frame was the second handshake's ACK: unwind that
+	// flow's completion (it sorts FIRST by time, so filter by identity).
+	full.oracle.TCPPackets--
+	full.oracle.Completed--
+	kept := full.oracle.Flows[:0]
+	for _, fl := range full.oracle.Flows {
+		if fl.SrcCity != "Sydney" {
+			kept = append(kept, fl)
+		}
+	}
+	full.oracle.Flows = kept
+	caps = append(caps, full)
+
+	return caps
+}
+
+func goldenPath(name, ext string) string {
+	return filepath.Join("testdata", "golden", name+ext)
+}
+
+// TestWriteGoldenCorpus regenerates testdata/golden from the scripts.
+// Run with RURU_UPDATE=1; skipped otherwise.
+func TestWriteGoldenCorpus(t *testing.T) {
+	if os.Getenv("RURU_UPDATE") == "" {
+		t.Skip("set RURU_UPDATE=1 to regenerate the golden corpus")
+	}
+	if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range goldenCaptures(t) {
+		if err := os.WriteFile(goldenPath(c.name, ".pcap"), c.pcap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.MarshalIndent(c.oracle, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(c.name, ".oracle.json"), append(j, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenCorpus replays every checked-in capture through the full
+// pipeline and compares engine counters, per-flow measurements and the
+// loss ledger bit-exact against the checked-in oracle.
+func TestGoldenCorpus(t *testing.T) {
+	w := goldenWorld(t)
+	ents, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden corpus missing (generate with RURU_UPDATE=1): %v", err)
+	}
+	ran := 0
+	for _, ent := range ents {
+		name, ok := cutSuffix(ent.Name(), ".pcap")
+		if !ok {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			var oracle goldenOracle
+			oj, err := os.ReadFile(goldenPath(name, ".oracle.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(oj, &oracle); err != nil {
+				t.Fatal(err)
+			}
+			replayGolden(t, w, goldenPath(name, ".pcap"), &oracle)
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no golden captures found")
+	}
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) < len(suffix) || s[len(s)-len(suffix):] != suffix {
+		return s, false
+	}
+	return s[:len(s)-len(suffix)], true
+}
+
+func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle) {
+	t.Helper()
+	p, err := New(Config{
+		GeoDB:  w.DB(),
+		Queues: 2, Overflow: nic.Block, SinkWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := pcap.ReplayToPort(ctx, r, p.Port, pcap.ReplayOptions{Burst: 16})
+	if oracle.Truncated {
+		if !errors.Is(err, pcap.ErrTruncated) {
+			t.Fatalf("replay err = %v, want ErrTruncated", err)
+		}
+	} else if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != oracle.Replayed {
+		t.Fatalf("replayed %d frames, want %d", n, oracle.Replayed)
+	}
+
+	// Drain: every completed measurement must land in the TSDB (Block
+	// policy + tiny load = zero loss anywhere downstream).
+	deadline := time.Now().Add(10 * time.Second)
+	var st Stats
+	for {
+		st = p.Stats()
+		if st.Engine.Completed == oracle.Completed && st.DBPoints == oracle.Completed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain timeout: engine completed %d / db %d, want %d",
+				st.Engine.Completed, st.DBPoints, oracle.Completed)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Engine counters, bit-exact.
+	checks := []struct {
+		name      string
+		got, want uint64
+	}{
+		{"tcp packets", st.Engine.Packets, oracle.TCPPackets},
+		{"syns", st.Engine.SYNs, oracle.SYNs},
+		{"syn retrans", st.Engine.SYNRetrans, oracle.SYNRetrans},
+		{"synacks", st.Engine.SYNACKs, oracle.SYNACKs},
+		{"orphan synacks", st.Engine.OrphanSYNACKs, oracle.OrphanSYNACKs},
+		{"completed", st.Engine.Completed, oracle.Completed},
+		{"aborted", st.Engine.Aborted, oracle.Aborted},
+		{"midstream acks", st.Engine.MidstreamACKs, oracle.MidstreamACKs},
+		{"invalid acks", st.Engine.InvalidACKs, oracle.InvalidACKs},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("engine %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	// Loss-accounting ledger: nothing silently lost downstream.
+	if st.Engine.Completed != st.DBPoints+st.SinkDrop+st.SinkDecodeErrors+st.DBDropped+st.DBWriteErrors {
+		t.Errorf("ledger violated: completed %d != db %d + drops %d/%d/%d/%d",
+			st.Engine.Completed, st.DBPoints, st.SinkDrop, st.SinkDecodeErrors, st.DBDropped, st.DBWriteErrors)
+	}
+
+	// Per-flow measurements, bit-exact, in (Time, SrcCity) order.
+	arcs := p.RecentArcs(0)
+	sort.SliceStable(arcs, func(i, j int) bool {
+		if arcs[i].Time != arcs[j].Time {
+			return arcs[i].Time < arcs[j].Time
+		}
+		return arcs[i].Src.City < arcs[j].Src.City
+	})
+	if len(arcs) != len(oracle.Flows) {
+		t.Fatalf("measured %d flows, want %d", len(arcs), len(oracle.Flows))
+	}
+	for i, want := range oracle.Flows {
+		got := goldenFlow{
+			SrcCity: arcs[i].Src.City, SrcCC: arcs[i].Src.CountryCode,
+			DstCity: arcs[i].Dst.City, DstCC: arcs[i].Dst.CountryCode,
+			InternalNs: arcs[i].InternalNs, ExternalNs: arcs[i].ExternalNs,
+			TotalNs: arcs[i].TotalNs, Time: arcs[i].Time,
+			SYNRetrans: arcs[i].SYNRetrans, IPv6: arcs[i].IPv6,
+		}
+		if got != want {
+			t.Errorf("flow %d:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"ruru/internal/analytics"
 	"ruru/internal/anomaly"
 	"ruru/internal/core"
+	"ruru/internal/fed"
 	"ruru/internal/geo"
 	"ruru/internal/mq"
 	"ruru/internal/nic"
@@ -125,6 +126,18 @@ type Config struct {
 	// geo-enriched (IPs dropped, like measurements) and written to the
 	// TSDB measurement "rtt_stream" with tags echoer_city/peer_city/side.
 	TrackTimestamps bool
+
+	// RemoteWrite, when Addr is set, turns this pipeline into a federation
+	// probe: every enriched measurement additionally streams to a central
+	// aggregator as acked, spooled, CRC-framed batches (see internal/fed).
+	// The local TSDB keeps working — the probe remains fully queryable on
+	// its own.
+	RemoteWrite fed.ProbeConfig
+	// Federate, when Listen is set, turns this pipeline into a federation
+	// aggregator: remote probes' measurements are ingested into DB through
+	// the normal WriteBatch→rollup→WAL path, each series tagged
+	// probe=<probe id>, deduplicated by per-probe sequence number.
+	Federate fed.AggConfig
 }
 
 // Measurement topics re-exported for consumers wiring extra modules in.
@@ -154,6 +167,9 @@ type Pipeline struct {
 	Flood  *anomaly.FloodDetector // SYN-flood detector (expiry-fed)
 	Surge  *anomaly.SurgeDetector // per-pair connection-rate surge detector
 	SNMP   *anomaly.SNMPPoller    // coarse "conventional monitoring" baseline
+
+	Remote *fed.Probe      // remote-write client (nil unless Config.RemoteWrite)
+	Agg    *fed.Aggregator // federation endpoint (nil unless Config.Federate)
 
 	floodMu sync.Mutex
 	snmpMu  sync.Mutex
@@ -286,6 +302,23 @@ func New(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RemoteWrite.Addr != "" {
+		p.Remote, err = fed.NewProbe(cfg.RemoteWrite, p.Bus)
+		if err != nil {
+			p.DB.Close()
+			return nil, err
+		}
+	}
+	if cfg.Federate.Listen != "" {
+		p.Agg, err = fed.NewAggregator(cfg.Federate, p.DB)
+		if err != nil {
+			if p.Remote != nil {
+				p.Remote.Close()
+			}
+			p.DB.Close()
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -347,6 +380,13 @@ func (p *Pipeline) Run(ctx context.Context) error {
 			defer wg.Done()
 			p.runSinkWorker(ctx, sh)
 		}(sh)
+	}
+	if p.Remote != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Remote.Run(ctx)
+		}()
 	}
 	wg.Wait()
 	return ctx.Err()
@@ -423,6 +463,15 @@ type Stats struct {
 	// what the last restart recovered, checkpoint age). Zero value with
 	// Enabled=false when Config.Persist is unset.
 	Persist tsdb.PersistStats
+	// Remote reports the federation probe's remote-write counters —
+	// connection health, acked/unacked/resent batches, spool footprint and
+	// the backpressure loss class (Dropped). Enabled=false without
+	// Config.RemoteWrite.
+	Remote fed.ProbeStats
+	// Fed reports the federation aggregator: totals plus per-probe
+	// liveness, lag and sequence-dedup counters. Enabled=false without
+	// Config.Federate.
+	Fed fed.AggStats
 }
 
 // Stats snapshots every stage.
@@ -433,6 +482,14 @@ func (p *Pipeline) Stats() Stats {
 	queues := make([]nic.QueueStats, p.Port.NumQueues())
 	for q := range queues {
 		queues[q] = p.Port.QueueStats(q)
+	}
+	var remote fed.ProbeStats
+	if p.Remote != nil {
+		remote = p.Remote.Stats()
+	}
+	var agg fed.AggStats
+	if p.Agg != nil {
+		agg = p.Agg.Stats()
 	}
 	return Stats{
 		Port:             p.Port.Stats(),
@@ -450,14 +507,30 @@ func (p *Pipeline) Stats() Stats {
 		DBWriteErrors:    p.sinkWriteErrors.Load(),
 		TSSamples:        p.tsSamples.Load(),
 		Persist:          p.DB.PersistStats(),
+		Remote:           remote,
+		Fed:              agg,
 	}
 }
 
-// Close releases resources (bus, hub, DB). On a persistent pipeline the
-// DB close flushes and fsyncs the WAL so a clean shutdown loses nothing;
-// the returned error is that close's first failure (nil in-memory).
+// Close releases resources (federation endpoints, bus, hub, DB). The
+// aggregator closes first so no remote batch races the DB shutdown, then
+// the probe (persisting its spool ack watermark), then the local stages.
+// On a persistent pipeline the DB close flushes and fsyncs the WAL so a
+// clean shutdown loses nothing; the returned error is the first failure.
 func (p *Pipeline) Close() error {
+	var err error
+	if p.Agg != nil {
+		err = p.Agg.Close()
+	}
+	if p.Remote != nil {
+		if e := p.Remote.Close(); err == nil {
+			err = e
+		}
+	}
 	p.Bus.Close()
 	p.Hub.Close()
-	return p.DB.Close()
+	if e := p.DB.Close(); err == nil {
+		err = e
+	}
+	return err
 }

@@ -24,7 +24,6 @@ package ruru
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"sort"
 
 	"ruru/internal/analytics"
@@ -123,7 +122,7 @@ func (p *Pipeline) runSinkWorker(ctx context.Context, sh *sinkShard) {
 // shard's arc ring. Returns the reused points slice.
 func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem, points []tsdb.Point) []tsdb.Point {
 	for i := range batch {
-		points = append(points, latencyPoint(&batch[i].e))
+		points = append(points, analytics.LatencyPoint(&batch[i].e))
 	}
 	if applied, err := p.DB.WriteBatch(points); err != nil {
 		// Only a Close racing this worker can fail here (points always
@@ -153,28 +152,6 @@ func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem, points []tsdb.P
 	}
 	sh.mu.Unlock()
 	return points
-}
-
-// latencyPoint converts one enriched measurement into its TSDB point
-// (ms floats, as the Grafana panels expect).
-func latencyPoint(e *analytics.Enriched) tsdb.Point {
-	return tsdb.Point{
-		Name: "latency",
-		Tags: []tsdb.Tag{
-			{Key: "src_city", Value: e.Src.City},
-			{Key: "src_cc", Value: e.Src.CountryCode},
-			{Key: "src_asn", Value: fmt.Sprint(e.Src.ASN)},
-			{Key: "dst_city", Value: e.Dst.City},
-			{Key: "dst_cc", Value: e.Dst.CountryCode},
-			{Key: "dst_asn", Value: fmt.Sprint(e.Dst.ASN)},
-		},
-		Fields: []tsdb.Field{
-			{Key: "internal_ms", Value: float64(e.InternalNs) / 1e6},
-			{Key: "external_ms", Value: float64(e.ExternalNs) / 1e6},
-			{Key: "total_ms", Value: float64(e.TotalNs) / 1e6},
-		},
-		Time: e.Time,
-	}
 }
 
 // offerDetectors feeds one measurement to the anomaly detectors and the
@@ -226,7 +203,7 @@ func (sh *sinkShard) orderedArcsLocked() []analytics.Enriched {
 func (p *Pipeline) Feed(e *analytics.Enriched) {
 	pair := pairKey(e)
 	sh := p.shardFor(pair)
-	pt := latencyPoint(e)
+	pt := analytics.LatencyPoint(e)
 	if err := p.DB.Write(&pt); err != nil {
 		p.sinkWriteErrors.Add(1)
 	}

@@ -1,0 +1,89 @@
+package tsdb
+
+// The exported face of the WAL entry codec (wal.go): self-contained,
+// dictionary-compressed point records for transports that frame and
+// checksum on their own — the federation remote-write stream reuses the
+// exact on-disk record encoding as its wire format, so a probe's batch
+// costs the same ~10–15 bytes per steady-state point as a WAL append.
+//
+// Unlike WAL segments, where the shape dictionary spans a whole segment,
+// every record produced here is SELF-CONTAINED: the dictionary and all
+// delta-coding state reset at each AppendRecord, so a record can be
+// spooled, resent over a different connection, or decoded in isolation
+// without any stream context. A batch of points from a handful of series
+// still amortizes its define entries over the whole record.
+
+// RecordEncoder encodes batches of points into self-contained records.
+// The zero value is ready to use. Not safe for concurrent use; the
+// internal dictionary is scratch state reused across calls.
+type RecordEncoder struct {
+	dict   map[string]uint64
+	state  []shapeEnc
+	keyBuf []byte
+}
+
+// AppendRecord appends the encoding of pts to buf and returns the extended
+// slice. Tags of each point are sorted in place (the canonical point form,
+// as Write would). The record decodes stand-alone with DecodeRecord.
+func (e *RecordEncoder) AppendRecord(buf []byte, pts []Point) []byte {
+	if e.dict == nil {
+		e.dict = make(map[string]uint64, 8)
+	} else {
+		clear(e.dict)
+	}
+	e.state = e.state[:0]
+	for i := range pts {
+		p := &pts[i]
+		sortTags(p.Tags)
+		e.keyBuf = shapeKey(e.keyBuf[:0], p)
+		id, ok := e.dict[string(e.keyBuf)]
+		if !ok {
+			id = uint64(len(e.dict))
+			e.dict[string(e.keyBuf)] = id
+			if cap(e.state) > len(e.state) {
+				// Reuse the previous record's per-shape state storage.
+				e.state = e.state[:len(e.state)+1]
+				st := &e.state[id]
+				st.prevTime = 0
+				if cap(st.prev) >= len(p.Fields) {
+					st.prev = st.prev[:len(p.Fields)]
+					clear(st.prev)
+				} else {
+					st.prev = make([]uint64, len(p.Fields))
+				}
+			} else {
+				e.state = append(e.state, shapeEnc{prev: make([]uint64, len(p.Fields))})
+			}
+			buf = appendDefine(buf, id, p)
+		}
+		buf = appendSample(buf, id, p, &e.state[id])
+	}
+	return buf
+}
+
+// DecodeRecord decodes one self-contained record, calling fn for every
+// point. The *Point passed to fn is reused between calls — copy what you
+// keep. Decoding stops at the first malformed entry with an error; points
+// already handed to fn stand (the caller decides whether a partial record
+// is usable — the federation aggregator does not, because the record CRC
+// is checked before decode, making any failure here real corruption).
+// Arbitrary input never panics and allocates at most in proportion to
+// len(payload) — the fuzz targets pin both properties.
+func DecodeRecord(payload []byte, fn func(*Point) error) error {
+	var dec walDecoder
+	var p Point
+	for len(payload) > 0 {
+		rest, sample, err := dec.next(payload, &p)
+		if err != nil {
+			return err
+		}
+		payload = rest
+		if !sample {
+			continue
+		}
+		if err := fn(&p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

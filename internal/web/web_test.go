@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -10,7 +11,9 @@ import (
 	"time"
 
 	"ruru/internal/analytics"
+	"ruru/internal/fed"
 	"ruru/internal/geo"
+	"ruru/internal/mq"
 	"ruru/internal/ruru"
 	"ruru/internal/tsdb"
 	"ruru/internal/ws"
@@ -519,5 +522,117 @@ func BenchmarkQueryEndpoint(b *testing.B) {
 			b.Fatal(err)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestFederationQueryAndStats pins the federation surface of the HTTP API:
+// an aggregator pipeline serves probe-tagged series through /api/query
+// (filter and group-by on the probe tag — the cross-probe merge semantics)
+// and reports per-probe liveness/lag/dedup counters in /api/stats.
+func TestFederationQueryAndStats(t *testing.T) {
+	w, err := geo.NewWorld(geo.WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ruru.New(ruru.Config{
+		GeoDB:    w.DB(),
+		Federate: fed.AggConfig{Listen: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(p))
+	t.Cleanup(func() { srv.Close(); p.Close() })
+
+	// Two probes stream measurements into the aggregator.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const perProbe = 120
+	for _, id := range []string{"akl-1", "lax-1"} {
+		bus := mq.NewBus()
+		defer bus.Close()
+		pr, err := fed.NewProbe(fed.ProbeConfig{
+			Addr: p.Agg.Addr().String(), ID: id, SpoolDir: t.TempDir(),
+			BatchSize: 16, FlushEvery: 5 * time.Millisecond,
+		}, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pr.Close() })
+		go pr.Run(ctx)
+		go func() {
+			e := analytics.Enriched{
+				Src: analytics.Endpoint{City: "Auckland", CountryCode: "NZ"},
+				Dst: analytics.Endpoint{City: "Los Angeles", CountryCode: "US"},
+			}
+			for i := 0; i < perProbe; i++ {
+				e.Time = int64(i+1) * 1e6
+				e.TotalNs = 140e6
+				bus.Publish(mq.Message{Topic: analytics.TopicEnriched,
+					Payload: analytics.MarshalEnriched(nil, &e)})
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		written, _ := p.DB.WriteStats()
+		if written == 2*perProbe {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d/%d points applied", written, 2*perProbe)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// group_by=probe splits the fleet into one series per probe.
+	var res []tsdb.SeriesResult
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e12&agg=count&group_by=probe", &res)
+	if len(res) != 2 || res[0].Group != "akl-1" || res[1].Group != "lax-1" {
+		t.Fatalf("group_by=probe: %+v", res)
+	}
+	for _, sr := range res {
+		if sr.Buckets[0].Count != perProbe {
+			t.Fatalf("group %s count = %d, want %d", sr.Group, sr.Buckets[0].Count, perProbe)
+		}
+	}
+	// where=probe:<id> filters to one probe; the unfiltered query merges.
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e12&agg=count&where=probe:akl-1", &res)
+	if len(res) != 1 || res[0].Buckets[0].Count != perProbe {
+		t.Fatalf("where=probe:akl-1: %+v", res)
+	}
+	getJSON(t, srv.URL+"/api/query?start=0&end=1e12&agg=count", &res)
+	if len(res) != 1 || res[0].Buckets[0].Count != 2*perProbe {
+		t.Fatalf("cross-probe merge: %+v", res)
+	}
+	// /api/tags serves the probe tag for dashboard pickers.
+	var vals []string
+	getJSON(t, srv.URL+"/api/tags?key=probe", &vals)
+	if len(vals) != 2 || vals[0] != "akl-1" || vals[1] != "lax-1" {
+		t.Fatalf("tags probe: %v", vals)
+	}
+
+	// /api/stats carries per-probe liveness, lag and dedup counters.
+	var st struct {
+		Fed struct {
+			Enabled bool
+			Points  uint64
+			Probes  []struct {
+				ID        string
+				Connected bool
+				LastSeq   uint64
+				Points    uint64
+				LagNs     int64
+			}
+		}
+	}
+	getJSON(t, srv.URL+"/api/stats", &st)
+	if !st.Fed.Enabled || st.Fed.Points != 2*perProbe || len(st.Fed.Probes) != 2 {
+		t.Fatalf("fed stats: %+v", st.Fed)
+	}
+	for _, ps := range st.Fed.Probes {
+		if !ps.Connected || ps.LastSeq == 0 || ps.Points != perProbe || ps.LagNs < 0 {
+			t.Fatalf("probe stats: %+v", ps)
+		}
 	}
 }
