@@ -153,6 +153,7 @@ func BenchmarkIngest(b *testing.B) {
 func BenchmarkE2PipelineScaling(b *testing.B) {
 	for _, q := range []int{1, 2, 4, 8} {
 		b.Run(benchName("queues", q), func(b *testing.B) {
+			b.ReportAllocs()
 			rows, err := experiments.E2(experiments.E2Config{
 				Seed: 1, QueueList: []int{q},
 				TracePkts: 100000, RunPackets: int64(b.N) + 200000,
@@ -168,6 +169,7 @@ func BenchmarkE2PipelineScaling(b *testing.B) {
 
 // BenchmarkE3Fanout measures WebSocket broadcast with 8 live clients.
 func BenchmarkE3Fanout(b *testing.B) {
+	b.ReportAllocs()
 	rows, err := experiments.E3(experiments.E3Config{
 		ClientList: []int{8}, Messages: max(b.N, 5000),
 	}, io.Discard)
@@ -219,6 +221,7 @@ func BenchmarkE7Toeplitz(b *testing.B) {
 func BenchmarkConsume(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			rows, err := experiments.E11(experiments.E11Config{
 				WorkerList: []int{workers}, Messages: max(b.N, 20000),
 			}, io.Discard)
@@ -277,6 +280,55 @@ func BenchmarkDBWriteBatch(b *testing.B) {
 					}
 				}
 			})
+			reportPPS(b, batchLen)
+		})
+	}
+}
+
+// BenchmarkDBWriteBatchRef is BenchmarkDBWriteBatch on the interned-handle
+// fast path: same series/batch/clock shape, but each goroutine resolves its
+// series to a SeriesRef once and then writes RefPoints — no per-point key
+// building, tag sorting, map probing or field-name hashing. The ns/op and
+// allocs/op deltas against BenchmarkDBWriteBatch are the tentpole numbers
+// tracked in BENCH_*.json.
+func BenchmarkDBWriteBatchRef(b *testing.B) {
+	const batchLen = 64
+	for _, stripes := range []int{1, 8} {
+		b.Run(benchName("stripes", stripes), func(b *testing.B) {
+			db := tsdb.Open(tsdb.Options{ShardDuration: 1e9, Retention: 2e9, Stripes: stripes})
+			var worker atomic.Int64
+			var clock atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				city := "City" + itoa(int(worker.Add(1)))
+				ref, err := db.Ref("latency",
+					[]tsdb.Tag{
+						{Key: "src_city", Value: city},
+						{Key: "dst_city", Value: "Los Angeles"},
+					},
+					"internal_ms", "external_ms", "total_ms")
+				if err != nil {
+					b.Fatal(err)
+				}
+				batch := make([]tsdb.RefPoint, batchLen)
+				vals := make([]float64, 3*batchLen)
+				for i := range batch {
+					v := vals[3*i : 3*i+3 : 3*i+3]
+					v[0], v[1], v[2] = 15, 130, 145
+					batch[i] = tsdb.RefPoint{Ref: ref, Vals: v}
+				}
+				for pb.Next() {
+					t := clock.Add(batchLen*1e6) - batchLen*1e6
+					for i := range batch {
+						t += 1e6
+						batch[i].Time = t
+					}
+					if _, err := db.WriteBatchRef(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			reportPPS(b, batchLen)
 		})
 	}
 }
@@ -330,6 +382,7 @@ func BenchmarkWriteWAL(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportPPS(b, batchLen)
 		})
 	}
 }
@@ -357,11 +410,13 @@ func BenchmarkE8TSDB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportPPS(b, 1)
 }
 
 // BenchmarkE9MQ measures one bus publish with a draining subscriber — the
 // per-measurement cost of the modular ("ZeroMQ") interconnect.
 func BenchmarkE9MQ(b *testing.B) {
+	b.ReportAllocs()
 	rows, err := experiments.E9(experiments.E9Config{
 		Seed: 1, Messages: max(b.N, 10000),
 	}, io.Discard)
@@ -370,6 +425,15 @@ func BenchmarkE9MQ(b *testing.B) {
 	}
 	b.ReportMetric(rows[1].NsPerMsg, "ns/msg-1hop")
 	b.ReportMetric(rows[2].NsPerMsg, "ns/msg-2hop")
+}
+
+// reportPPS records sustained points/second for a benchmark whose every op
+// writes pointsPerOp TSDB points — the throughput axis of the BENCH_*.json
+// trajectory.
+func reportPPS(b *testing.B, pointsPerOp int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)*float64(pointsPerOp)/s, "pps")
+	}
 }
 
 func benchName(k string, v int) string {

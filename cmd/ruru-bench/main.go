@@ -5,6 +5,11 @@
 // Usage:
 //
 //	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all
+//	ruru-bench -json BENCH_PRn.json [-benchtime 1s]
+//
+// The second form runs the fixed microbenchmark suite (internal/bench) via
+// testing.Benchmark and writes a machine-readable trajectory entry —
+// the BENCH_*.json files scripts/bench_compare.sh diffs across PRs.
 //
 // Scale flags let CI run reduced versions; defaults reproduce the numbers
 // recorded in EXPERIMENTS.md.
@@ -14,20 +19,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 
+	"ruru/internal/bench"
 	"ruru/internal/experiments"
 )
 
 func main() {
+	testing.Init() // registers test.* flags: required for testing.Benchmark outside "go test"
 	var (
-		seed  = flag.Int64("seed", 1, "deterministic seed for all experiments")
-		quick = flag.Bool("quick", false, "reduced scale (CI-friendly)")
+		seed      = flag.Int64("seed", 1, "deterministic seed for all experiments")
+		quick     = flag.Bool("quick", false, "reduced scale (CI-friendly)")
+		jsonOut   = flag.String("json", "", "run the microbenchmark suite and write a BENCH_*.json trajectory entry to this path")
+		benchtime = flag.String("benchtime", "", "per-benchmark run time for -json (default: testing's 1s)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all\n")
+		fmt.Fprintf(os.Stderr, "       ruru-bench -json BENCH_PRn.json [-benchtime 1s]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "ruru-bench -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -120,6 +138,33 @@ func main() {
 		}
 	}
 
+	runExperiments(run)
+}
+
+// runJSON executes the internal/bench suite and writes the trajectory file.
+func runJSON(path, benchtime string) error {
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return err
+		}
+	}
+	f := bench.Run(os.Stdout)
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func runExperiments(run func(id string) error) {
 	ids := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
 		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}

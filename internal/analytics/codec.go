@@ -138,6 +138,43 @@ func LatencyPoint(e *Enriched) tsdb.Point {
 	}
 }
 
+// LatencyFieldKeys returns the field-key order of LatencyPoint — the field
+// set a sink worker passes to tsdb.DB.Ref, matching the Vals order
+// AppendLatencyVals emits. Pinned against LatencyPoint by test.
+func LatencyFieldKeys() []string {
+	return []string{"internal_ms", "external_ms", "total_ms"}
+}
+
+// AppendLatencyVals appends e's field values in LatencyFieldKeys order —
+// the zero-alloc counterpart of LatencyPoint's Fields for the interned
+// ref write path.
+func AppendLatencyVals(vals []float64, e *Enriched) []float64 {
+	return append(vals,
+		float64(e.InternalNs)/1e6,
+		float64(e.ExternalNs)/1e6,
+		float64(e.TotalNs)/1e6)
+}
+
+// AppendLatencyKey appends an unambiguous identity key for e's latency
+// series (the tag set of LatencyPoint) to buf — used by sink workers as the
+// lookup key of their per-worker SeriesRef caches without building tag
+// strings. Each component is length-prefixed; ASNs are appended as
+// uvarints, so two distinct tag sets can never encode to the same key.
+func AppendLatencyKey(buf []byte, e *Enriched) []byte {
+	buf = appendLenStr(buf, e.Src.City)
+	buf = appendLenStr(buf, e.Src.CountryCode)
+	buf = binary.AppendUvarint(buf, uint64(e.Src.ASN))
+	buf = appendLenStr(buf, e.Dst.City)
+	buf = appendLenStr(buf, e.Dst.CountryCode)
+	buf = binary.AppendUvarint(buf, uint64(e.Dst.ASN))
+	return buf
+}
+
+func appendLenStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
 func putStr(buf []byte, s string) []byte {
 	var l [2]byte
 	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))

@@ -2,6 +2,7 @@ package fed
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sort"
@@ -65,6 +66,17 @@ type aggProbe struct {
 
 	mu          sync.Mutex
 	lastApplied uint64
+
+	// Ref-path write scratch, guarded by mu (applyBatch holds it through
+	// decode and apply): interned TSDB handles cached per decoded
+	// (name, tags, field-keys) shape — the probe tag is implicit since the
+	// cache itself is per-probe — plus reusable batch buffers, so the
+	// steady-state apply path allocates nothing per point.
+	refs   map[string]tsdb.SeriesRef
+	keyBuf []byte
+	rpts   []tsdb.RefPoint
+	vals   []float64
+	offs   []int
 
 	conns      atomic.Int64
 	lastRecvNs atomic.Int64
@@ -164,7 +176,7 @@ func (a *Aggregator) probeFor(id string) *aggProbe {
 		if len(a.probes) >= a.cfg.MaxProbes {
 			return nil
 		}
-		ps = &aggProbe{id: id}
+		ps = &aggProbe{id: id, refs: make(map[string]tsdb.SeriesRef)}
 		ps.lastRecvNs.Store(-1)
 		a.probes[id] = ps
 	}
@@ -258,6 +270,9 @@ func (a *Aggregator) applyBatch(ps *aggProbe, seq uint64, record []byte, pts *[]
 		return ps.lastApplied, true
 	}
 	batch := (*pts)[:0]
+	rpts := ps.rpts[:0]
+	vals := ps.vals[:0]
+	offs := ps.offs[:0]
 	dropped := 0
 	derr := tsdb.DecodeRecord(record, func(p *tsdb.Point) error {
 		if len(p.Fields) == 0 {
@@ -269,6 +284,18 @@ func (a *Aggregator) applyBatch(ps *aggProbe, seq uint64, record []byte, pts *[]
 			dropped++
 			return nil
 		}
+		if ref, ok := a.refFor(ps, p); ok {
+			// Interned fast path: values into the shared arena, Vals
+			// subslices fixed up below once the arena stops moving.
+			offs = append(offs, len(vals))
+			for _, f := range p.Fields {
+				vals = append(vals, f.Value)
+			}
+			rpts = append(rpts, tsdb.RefPoint{Ref: ref, Time: p.Time})
+			return nil
+		}
+		// Shapes Ref refuses (duplicate field keys) take the legacy copy
+		// path, preserving the old behaviour exactly.
 		q := tsdb.Point{
 			Name:   p.Name,
 			Tags:   make([]tsdb.Tag, 0, len(p.Tags)+1),
@@ -279,10 +306,15 @@ func (a *Aggregator) applyBatch(ps *aggProbe, seq uint64, record []byte, pts *[]
 		batch = append(batch, q)
 		return nil
 	})
+	offs = append(offs, len(vals))
+	for i := range rpts {
+		rpts[i].Vals = vals[offs[i]:offs[i+1]:offs[i+1]]
+	}
 	if dropped > 0 {
 		a.decodeErrors.Add(uint64(dropped))
 	}
 	*pts = batch[:0]
+	ps.rpts, ps.vals, ps.offs = rpts, vals, offs
 	if derr != nil {
 		// CRC said the bytes arrived intact, so this is an encoding the
 		// probe will resend identically forever: count it, skip it, ack it
@@ -291,24 +323,73 @@ func (a *Aggregator) applyBatch(ps *aggProbe, seq uint64, record []byte, pts *[]
 		ps.lastApplied = seq
 		return seq, true
 	}
+	// Both writes can only fail with ErrClosedDB (shutdown; fieldless
+	// points were filtered above): transient, so drop the connection
+	// without acking and let the probe resend to the restarted aggregator.
+	// With err == nil every point was handled — stored, or dropped by
+	// retention and counted in the DB's own dropped counter (surfaced as
+	// DBDropped in /api/stats), so Points below means "accepted", not
+	// "queryable".
+	if len(rpts) > 0 {
+		if _, err := a.db.WriteBatchRef(rpts); err != nil {
+			a.writeErrors.Add(1)
+			return 0, false
+		}
+	}
 	if len(batch) > 0 {
-		// err here can only be ErrClosedDB (shutdown; fieldless points were
-		// filtered above): transient, so drop the connection without acking
-		// and let the probe resend to the restarted aggregator. With err ==
-		// nil every point was handled — stored, or dropped by retention and
-		// counted in the DB's own dropped counter (surfaced as DBDropped in
-		// /api/stats), so Points below means "accepted", not "queryable".
 		if _, err := a.db.WriteBatch(batch); err != nil {
 			a.writeErrors.Add(1)
 			return 0, false
 		}
 	}
+	n := uint64(len(rpts) + len(batch))
 	ps.lastApplied = seq
 	ps.batches.Add(1)
 	a.batches.Add(1)
-	ps.points.Add(uint64(len(batch)))
-	a.points.Add(uint64(len(batch)))
+	ps.points.Add(n)
+	a.points.Add(n)
 	return seq, true
+}
+
+// refFor resolves a decoded point's interned TSDB handle from the probe's
+// cache, creating it on first sight of the shape. ok=false means the shape
+// cannot take the ref path (duplicate field keys, or the DB is closing —
+// in which case the legacy write will surface the error). Caller holds
+// ps.mu.
+func (a *Aggregator) refFor(ps *aggProbe, p *tsdb.Point) (tsdb.SeriesRef, bool) {
+	// Cache key: name, tag count, tags, field keys — all length-prefixed,
+	// so distinct shapes can never collide.
+	b := ps.keyBuf[:0]
+	b = appendLenStr(b, p.Name)
+	b = binary.AppendUvarint(b, uint64(len(p.Tags)))
+	for _, t := range p.Tags {
+		b = appendLenStr(b, t.Key)
+		b = appendLenStr(b, t.Value)
+	}
+	for _, f := range p.Fields {
+		b = appendLenStr(b, f.Key)
+	}
+	ps.keyBuf = b
+	if ref, ok := ps.refs[string(b)]; ok {
+		return ref, true
+	}
+	tags := make([]tsdb.Tag, 0, len(p.Tags)+1)
+	tags = append(append(tags, p.Tags...), tsdb.Tag{Key: a.cfg.ProbeTag, Value: ps.id})
+	fields := make([]string, len(p.Fields))
+	for i, f := range p.Fields {
+		fields[i] = f.Key
+	}
+	ref, err := a.db.Ref(p.Name, tags, fields...)
+	if err != nil {
+		return 0, false
+	}
+	ps.refs[string(b)] = ref
+	return ref, true
+}
+
+func appendLenStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
 }
 
 // Stats snapshots the aggregator counters.

@@ -13,3 +13,15 @@ func FNV1a32(s string) uint32 {
 	}
 	return h
 }
+
+// FNV1a32Bytes is FNV1a32 over a byte slice, for hot paths that build keys
+// in a reusable scratch buffer and must not materialize a string just to
+// hash it. Produces the same hash as FNV1a32 on equal bytes.
+func FNV1a32Bytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -185,14 +185,24 @@ type Pipeline struct {
 	sinkWriteErrors  atomic.Uint64
 }
 
-// sinkShard is the state owned by one sink worker: its routing channel and
-// its arc ring (per-shard so workers never contend; merged by RecentArcs).
+// sinkShard is the state owned by one sink worker: its routing channel,
+// the worker-private write scratch (SeriesRef cache keyed by geo/AS
+// identity, reusable RefPoint/value buffers — touched only by the owning
+// worker, never under mu), and the mu-guarded state shared with Feed and
+// RecentArcs (arc ring, WebSocket frame buffer).
 type sinkShard struct {
 	ch chan sinkItem
 
-	mu      sync.Mutex
-	arcsBuf []analytics.Enriched
-	arcsPos int
+	// Worker-private: per-identity interned TSDB handles and batch scratch.
+	refs   map[string]tsdb.SeriesRef
+	keyBuf []byte
+	rpts   []tsdb.RefPoint
+	vals   []float64
+
+	mu       sync.Mutex
+	arcsBuf  []analytics.Enriched
+	arcsPos  int
+	frameBuf []analytics.Enriched // reusable WS frame scratch (marshalled under mu)
 }
 
 // New assembles a pipeline.
@@ -294,6 +304,7 @@ func New(cfg Config) (*Pipeline, error) {
 	for i := range p.sinkShards {
 		p.sinkShards[i] = &sinkShard{
 			ch:      make(chan sinkItem, sinkShardDepth),
+			refs:    make(map[string]tsdb.SeriesRef),
 			arcsBuf: make([]analytics.Enriched, 0, cfg.ArcsBuffer),
 		}
 	}

@@ -92,7 +92,6 @@ func (p *Pipeline) routeSink(ctx context.Context, msg mq.Message) {
 // to SinkBatch and dispatches each burst to every output.
 func (p *Pipeline) runSinkWorker(ctx context.Context, sh *sinkShard) {
 	batch := make([]sinkItem, 0, p.cfg.SinkBatch)
-	points := make([]tsdb.Point, 0, p.cfg.SinkBatch)
 	// Shard channels are never closed: the worker's only exit is ctx
 	// cancellation, which abandons whatever is still queued (see the
 	// Stats ledger doc).
@@ -111,33 +110,76 @@ func (p *Pipeline) runSinkWorker(ctx context.Context, sh *sinkShard) {
 					break fill
 				}
 			}
-			points = p.consumeBatch(sh, batch, points[:0])
+			p.consumeBatch(sh, batch)
 		}
 	}
 }
 
-// consumeBatch dispatches one burst to all sinks: a single striped-lock
-// TSDB batch write, one coalesced WebSocket frame (only marshalled when a
-// client is connected), the anomaly detectors in arrival order, and the
-// shard's arc ring. Returns the reused points slice.
-func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem, points []tsdb.Point) []tsdb.Point {
-	for i := range batch {
-		points = append(points, analytics.LatencyPoint(&batch[i].e))
+// seriesRefFor returns the interned TSDB handle for e's latency series,
+// consulting the shard's worker-private cache. Steady state is one key
+// build into reused scratch plus a no-alloc map probe; only a
+// never-seen identity takes the Ref slow path.
+func (p *Pipeline) seriesRefFor(sh *sinkShard, e *analytics.Enriched) (tsdb.SeriesRef, error) {
+	sh.keyBuf = analytics.AppendLatencyKey(sh.keyBuf[:0], e)
+	if ref, ok := sh.refs[string(sh.keyBuf)]; ok {
+		return ref, nil
 	}
-	if applied, err := p.DB.WriteBatch(points); err != nil {
-		// Only a Close racing this worker can fail here (points always
-		// carry fields); count exactly the unapplied remainder — points in
-		// stripes written before the failure are already in DBPoints — so
-		// the ledger stays honest.
-		p.sinkWriteErrors.Add(uint64(len(points) - applied))
+	pt := analytics.LatencyPoint(e)
+	ref, err := p.DB.Ref(pt.Name, pt.Tags, analytics.LatencyFieldKeys()...)
+	if err != nil {
+		return 0, err
+	}
+	sh.refs[string(sh.keyBuf)] = ref
+	return ref, nil
+}
+
+// consumeBatch dispatches one burst to all sinks: a single striped-lock
+// TSDB batch write through interned series handles (zero-alloc at steady
+// state), one coalesced WebSocket frame (only marshalled when a client is
+// connected, into the shard's reusable frame buffer), the anomaly
+// detectors in arrival order, and the shard's arc ring.
+func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
+	// Reserve the value arena up front so Vals subslices stay valid while
+	// the arena fills.
+	need := len(batch) * 3
+	if cap(sh.vals) < need {
+		sh.vals = make([]float64, 0, need)
+	}
+	vals := sh.vals[:0]
+	rpts := sh.rpts[:0]
+	for i := range batch {
+		e := &batch[i].e
+		ref, err := p.seriesRefFor(sh, e)
+		if err != nil {
+			// Only a Close racing this worker can fail here; the point is
+			// unwritable, so account for it immediately.
+			p.sinkWriteErrors.Add(1)
+			continue
+		}
+		n := len(vals)
+		vals = analytics.AppendLatencyVals(vals, e)
+		rpts = append(rpts, tsdb.RefPoint{Ref: ref, Time: e.Time, Vals: vals[n:len(vals):len(vals)]})
+	}
+	sh.vals, sh.rpts = vals, rpts
+	if applied, err := p.DB.WriteBatchRef(rpts); err != nil {
+		// Count exactly the unapplied remainder — points in stripes written
+		// before the failure are already in DBPoints — so the ledger stays
+		// honest.
+		p.sinkWriteErrors.Add(uint64(len(rpts) - applied))
 	}
 
 	if p.Hub.Clients() > 0 {
-		frame := make([]analytics.Enriched, len(batch))
+		sh.mu.Lock()
+		frame := sh.frameBuf[:0]
 		for i := range batch {
-			frame[i] = batch[i].e
+			frame = append(frame, batch[i].e)
 		}
-		if data, err := json.Marshal(frame); err == nil {
+		sh.frameBuf = frame
+		data, err := json.Marshal(frame)
+		sh.mu.Unlock()
+		if err == nil {
+			// data is freshly allocated per call — the Hub retains it in
+			// client queues, so only the frame scratch is reusable.
 			p.Hub.Broadcast(data)
 		}
 	}
@@ -151,7 +193,6 @@ func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem, points []tsdb.P
 		sh.pushArcLocked(&batch[i].e)
 	}
 	sh.mu.Unlock()
-	return points
 }
 
 // offerDetectors feeds one measurement to the anomaly detectors and the
@@ -208,7 +249,14 @@ func (p *Pipeline) Feed(e *analytics.Enriched) {
 		p.sinkWriteErrors.Add(1)
 	}
 	if p.Hub.Clients() > 0 {
-		if data, err := json.Marshal([]analytics.Enriched{*e}); err == nil {
+		// Reuse the shard's frame buffer under its lock instead of
+		// marshalling a fresh one-element slice per call; the marshalled
+		// bytes stay per-call (the Hub retains them).
+		sh.mu.Lock()
+		sh.frameBuf = append(sh.frameBuf[:0], *e)
+		data, err := json.Marshal(sh.frameBuf)
+		sh.mu.Unlock()
+		if err == nil {
 			p.Hub.Broadcast(data)
 		}
 	}

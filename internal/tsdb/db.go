@@ -60,12 +60,39 @@ type DB struct {
 	// commitMu.RLock from their WAL append through their in-memory apply;
 	// Checkpoint takes it exclusively for the instant of the WAL rotation
 	// so the checkpoint cut is exact: state == every record below the
-	// rotated-to segment. Lock order is commitMu, then stripe mu.
+	// rotated-to segment. Lock order is commitMu, then stripe mu, then
+	// dirMu.
 	persist  *persister
 	commitMu sync.RWMutex
 
+	// Series directory: every series identity ever written, published
+	// copy-on-write behind dir so queries resolve series lock-free (see
+	// ref.go). byKey/refByKey and the backing arrays are guarded by dirMu;
+	// a write creating a brand-new series interns it under stripe mu →
+	// dirMu, which is why dirMu is last in the lock order.
+	dir       atomic.Pointer[seriesDir]
+	dirMu     sync.Mutex
+	byKey     map[string]*seriesIdent
+	refByKey  map[string]SeriesRef
+	identsBuf []*seriesIdent
+	refsBuf   []*refState
+
+	// scratchPool recycles the per-batch key arena + stripe-id scratch the
+	// legacy Write/WriteBatch paths use, so they no longer allocate per
+	// call.
+	scratchPool sync.Pool
+
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// writeScratch is pooled per-call scratch for the legacy write paths: a key
+// arena (all series keys of a batch, back to back), per-point arena offsets
+// and per-point stripe ids.
+type writeScratch struct {
+	arena []byte
+	offs  []int
+	sids  []uint32
 }
 
 // stripe is one lock-striped partition: a full shard map for the series
@@ -79,20 +106,49 @@ type stripe struct {
 	tiers  []tierStripe     // one per Options.Rollups entry
 }
 
-// shard holds all series for one time slice (within one stripe).
+// shard holds all series for one time slice (within one stripe). Queries
+// do not scan shards for series identity any more — the copy-on-write
+// directory (ref.go) knows which shards every series lives in — so shards
+// no longer carry an inverted tag index.
 type shard struct {
 	start, end int64
 	series     map[string]*series
-	// index: tag key -> tag value -> series keys
-	index map[string]map[string][]*series
 }
 
-// series is one (measurement, tagset) column store.
+// series is one (measurement, tagset) column store. Fields are positional
+// (fkeys[i] names cols[i]): the working field set of a series is a handful
+// of keys, so a linear scan beats a map hop, gives the ref path stable
+// column indices to cache, and makes snapshot iteration deterministic.
+// name/tags alias the owning ident's strings.
 type series struct {
-	name   string
-	tags   []Tag
-	times  []int64
-	fields map[string][]float64
+	name  string
+	tags  []Tag
+	ident *seriesIdent
+	times []int64
+	fkeys []string
+	cols  [][]float64
+}
+
+// findCol returns the index of the named column, or -1.
+func (sr *series) findCol(key string) int {
+	for i, k := range sr.fkeys {
+		if k == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// addCol appends a new column padded with NaN for every existing row and
+// returns its index. Caller holds the owning stripe's lock.
+func (sr *series) addCol(key string) int {
+	col := make([]float64, len(sr.times))
+	for i := range col {
+		col[i] = nan
+	}
+	sr.fkeys = append(sr.fkeys, key)
+	sr.cols = append(sr.cols, col)
+	return len(sr.cols) - 1
 }
 
 // Open creates an empty in-memory DB. It panics if opts.Persist is set:
@@ -135,6 +191,10 @@ func OpenDB(opts Options) (*DB, error) {
 		}
 	}
 	db.sweptShard.Store(math.MinInt64)
+	db.byKey = make(map[string]*seriesIdent)
+	db.refByKey = make(map[string]SeriesRef)
+	db.dir.Store(&seriesDir{})
+	db.scratchPool.New = func() any { return &writeScratch{} }
 	for i := range db.stripes {
 		st := &stripe{shards: make(map[int64]*shard)}
 		st.tiers = make([]tierStripe, len(opts.Rollups))
@@ -207,16 +267,21 @@ func (db *DB) Write(p *Point) error {
 			return err
 		}
 	}
-	key := seriesKey(p.Name, p.Tags)
+	sc := db.scratchPool.Get().(*writeScratch)
+	key := appendSeriesKey(sc.arena[:0], p.Name, p.Tags)
+	sc.arena = key
 	maxT := db.advanceMaxT(p.Time)
 	db.maybeSweepAll(maxT)
-	st := db.stripes[stripeIndex(key)&db.mask]
+	st := db.stripes[hashx.FNV1a32Bytes(key)&db.mask]
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if db.closed.Load() {
+		st.mu.Unlock()
+		db.scratchPool.Put(sc)
 		return ErrClosedDB
 	}
 	db.writeLocked(st, p, key, maxT)
+	st.mu.Unlock()
+	db.scratchPool.Put(sc)
 	return nil
 }
 
@@ -235,21 +300,36 @@ func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
 	if db.closed.Load() {
 		return 0, ErrClosedDB
 	}
-	keys := make([]string, len(pts))
-	sids := make([]uint32, len(pts))
+	sc := db.scratchPool.Get().(*writeScratch)
+	applied, err = db.writeBatchScratch(pts, sc)
+	db.scratchPool.Put(sc)
+	return applied, err
+}
+
+func (db *DB) writeBatchScratch(pts []Point, sc *writeScratch) (applied int, err error) {
+	// Per-batch series keys live back to back in one reusable arena,
+	// addressed by offsets (the arena may move as it grows); stripe ids are
+	// hashed straight off the arena bytes. Nothing here allocates once the
+	// scratch has warmed up.
+	arena := sc.arena[:0]
+	offs := append(sc.offs[:0], 0)
+	sids := sc.sids[:0]
 	batchMax := int64(math.MinInt64)
 	for i := range pts {
 		p := &pts[i]
 		if len(p.Fields) == 0 {
+			sc.arena, sc.offs, sc.sids = arena, offs, sids
 			return 0, ErrNoFields
 		}
 		sortTags(p.Tags)
-		keys[i] = seriesKey(p.Name, p.Tags)
-		sids[i] = stripeIndex(keys[i]) & db.mask
+		arena = appendSeriesKey(arena, p.Name, p.Tags)
+		sids = append(sids, hashx.FNV1a32Bytes(arena[offs[i]:])&db.mask)
+		offs = append(offs, len(arena))
 		if p.Time > batchMax {
 			batchMax = p.Time
 		}
 	}
+	sc.arena, sc.offs, sc.sids = arena, offs, sids
 	if pr := db.persist; pr != nil {
 		// One WAL record (and, under FsyncAlways, at most one group-
 		// committed fsync) for the whole batch — held through the apply,
@@ -283,7 +363,7 @@ func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
 		}
 		for i := range pts {
 			if sids[i] == uint32(s) {
-				db.writeLocked(st, &pts[i], keys[i], maxT)
+				db.writeLocked(st, &pts[i], arena[offs[i]:offs[i+1]], maxT)
 				applied++
 			}
 		}
@@ -293,10 +373,11 @@ func (db *DB) WriteBatch(pts []Point) (applied int, err error) {
 }
 
 // writeLocked appends p to its series in st and feeds the rollup tiers.
-// Caller holds st.mu. Raw and tier retention are independent: a point too
+// Caller holds st.mu; key is the point's series key (scratch bytes, valid
+// only for this call). Raw and tier retention are independent: a point too
 // old for raw storage (counted in dropped) can still land in a coarse tier
 // whose longer horizon covers it.
-func (db *DB) writeLocked(st *stripe, p *Point, key string, maxT int64) {
+func (db *DB) writeLocked(st *stripe, p *Point, key []byte, maxT int64) {
 	if len(db.opts.Rollups) > 0 {
 		db.writeTiersLocked(st, p, key, maxT)
 	}
@@ -306,49 +387,53 @@ func (db *DB) writeLocked(st *stripe, p *Point, key string, maxT int64) {
 		return
 	}
 	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
+	sh := db.shardAt(st, start)
+	sr, ok := sh.series[string(key)] // no-alloc map lookup
+	if !ok {
+		id := db.intern(p.Name, p.Tags, key)
+		sr = &series{name: id.name, tags: id.tags, ident: id}
+		sh.series[id.key] = sr
+		id.addRawShard(identShard{start: sh.start, end: sh.end, sr: sr})
+	}
+	sr.times = append(sr.times, p.Time)
+	for _, f := range p.Fields {
+		ci := sr.findCol(f.Key)
+		if ci < 0 {
+			sr.fkeys = append(sr.fkeys, f.Key)
+			sr.cols = append(sr.cols, nil)
+			ci = len(sr.cols) - 1
+		}
+		col := sr.cols[ci]
+		// Pad the column if this field was absent for earlier points.
+		for len(col) < len(sr.times)-1 {
+			col = append(col, nan)
+		}
+		sr.cols[ci] = append(col, f.Value)
+	}
+	// Pad any fields missing from this point.
+	for ci, col := range sr.cols {
+		if len(col) < len(sr.times) {
+			sr.cols[ci] = append(col, nan)
+		}
+	}
+	db.written.Add(1)
+	db.enforceRetentionLocked(st, maxT)
+}
+
+// shardAt returns st's raw shard starting at start, creating it if absent.
+// Caller holds st.mu.
+func (db *DB) shardAt(st *stripe, start int64) *shard {
 	sh, ok := st.shards[start]
 	if !ok {
 		sh = &shard{
 			start:  start,
 			end:    start + db.opts.ShardDuration,
 			series: make(map[string]*series),
-			index:  make(map[string]map[string][]*series),
 		}
 		st.shards[start] = sh
 		st.order = insertSorted(st.order, start)
 	}
-	sr, ok := sh.series[key]
-	if !ok {
-		tags := make([]Tag, len(p.Tags))
-		copy(tags, p.Tags)
-		sr = &series{name: p.Name, tags: tags, fields: make(map[string][]float64)}
-		sh.series[key] = sr
-		for _, t := range tags {
-			vm := sh.index[t.Key]
-			if vm == nil {
-				vm = make(map[string][]*series)
-				sh.index[t.Key] = vm
-			}
-			vm[t.Value] = append(vm[t.Value], sr)
-		}
-	}
-	sr.times = append(sr.times, p.Time)
-	for _, f := range p.Fields {
-		col := sr.fields[f.Key]
-		// Pad the column if this field was absent for earlier points.
-		for len(col) < len(sr.times)-1 {
-			col = append(col, nan)
-		}
-		sr.fields[f.Key] = append(col, f.Value)
-	}
-	// Pad any fields missing from this point.
-	for k, col := range sr.fields {
-		if len(col) < len(sr.times) {
-			sr.fields[k] = append(col, nan)
-		}
-	}
-	db.written.Add(1)
-	db.enforceRetentionLocked(st, maxT)
+	return sh
 }
 
 // WriteLine parses one line-protocol record and stores it.
@@ -412,6 +497,11 @@ func (db *DB) enforceRetentionLocked(st *stripe, maxT int64) {
 		if sh.end > horizon {
 			break
 		}
+		// Unpublish every dropped series placement from the directory so
+		// lock-free readers stop finding the pruned shard.
+		for _, sr := range sh.series {
+			sr.ident.dropRawShard(start)
+		}
 		delete(st.shards, start)
 		st.order = st.order[1:]
 	}
@@ -445,21 +535,29 @@ func (db *DB) SeriesCount() int {
 }
 
 // TagValues returns the sorted distinct values of a tag key within
-// [start, end), for dashboard pickers.
+// [start, end), for dashboard pickers. Entirely lock-free: it walks the
+// copy-on-write directory and each series' published raw-shard placements,
+// never touching a stripe lock.
 func (db *DB) TagValues(key string, start, end int64) []string {
+	d := db.dir.Load()
 	seen := map[string]bool{}
-	for _, st := range db.stripes {
-		st.mu.RLock()
-		for _, shStart := range st.order {
-			sh := st.shards[shStart]
-			if sh.end <= start || sh.start >= end {
-				continue
-			}
-			for v := range sh.index[key] {
-				seen[v] = true
+	for _, id := range d.idents {
+		v, ok := "", false
+		for _, t := range id.tags {
+			if t.Key == key {
+				v, ok = t.Value, true
+				break
 			}
 		}
-		st.mu.RUnlock()
+		if !ok || seen[v] {
+			continue
+		}
+		for _, is := range id.rawShards() {
+			if is.end > start && is.start < end {
+				seen[v] = true
+				break
+			}
+		}
 	}
 	out := make([]string, 0, len(seen))
 	for v := range seen {

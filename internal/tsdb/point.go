@@ -8,8 +8,9 @@
 //
 // The engine is deliberately Influx-shaped: points carry a measurement
 // name, sorted key=value tags and float fields; the text ingest format is
-// Influx line protocol; storage is time-sharded and series-columnar with an
-// inverted tag index.
+// Influx line protocol; storage is time-sharded and series-columnar, with
+// every series interned once into a copy-on-write directory that queries
+// resolve lock-free (see ref.go).
 //
 // Storage is in-memory by default. Opened through OpenDB with
 // Options.Persist set, the database is durable: every write is logged to a
@@ -59,23 +60,61 @@ var (
 	// rollup tier, or one whose buckets cannot align with the requested
 	// window and range.
 	ErrBadResolution = errors.New("tsdb: unusable query resolution")
+	// ErrBadRef reports a SeriesRef that this DB never issued, a RefPoint
+	// whose Vals length does not match the ref's field set, or a Ref
+	// request with duplicate field keys.
+	ErrBadRef = errors.New("tsdb: bad series ref")
 )
 
 // seriesKey builds the canonical identity string: name,k1=v1,k2=v2 with
 // sorted tag keys.
 func seriesKey(name string, tags []Tag) string {
-	var sb strings.Builder
-	sb.WriteString(name)
-	for _, t := range tags {
-		sb.WriteByte(',')
-		sb.WriteString(t.Key)
-		sb.WriteByte('=')
-		sb.WriteString(t.Value)
-	}
-	return sb.String()
+	return string(appendSeriesKey(nil, name, tags))
 }
 
+// appendSeriesKey appends the canonical series identity to buf. The write
+// hot paths build keys into per-DB scratch arenas with this and hash/look
+// up the bytes directly, so steady-state writes never materialize a key
+// string.
+func appendSeriesKey(buf []byte, name string, tags []Tag) []byte {
+	buf = append(buf, name...)
+	for _, t := range tags {
+		buf = append(buf, ',')
+		buf = append(buf, t.Key...)
+		buf = append(buf, '=')
+		buf = append(buf, t.Value...)
+	}
+	return buf
+}
+
+// sortTags sorts tags by key. Already-sorted input (the overwhelmingly
+// common case: every write after a series' first re-presents tags the
+// previous write left sorted in place) is detected and returned without
+// the sort.Slice closure allocations; small unsorted tag sets use an
+// in-place insertion sort.
 func sortTags(tags []Tag) {
+	sorted := true
+	for i := 1; i < len(tags); i++ {
+		if tags[i].Key < tags[i-1].Key {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if len(tags) <= 16 {
+		for i := 1; i < len(tags); i++ {
+			t := tags[i]
+			j := i - 1
+			for j >= 0 && tags[j].Key > t.Key {
+				tags[j+1] = tags[j]
+				j--
+			}
+			tags[j+1] = t
+		}
+		return
+	}
 	sort.Slice(tags, func(i, j int) bool { return tags[i].Key < tags[j].Key })
 }
 

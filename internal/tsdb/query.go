@@ -154,30 +154,38 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 		return db.executeTier(&q, window, nBuckets, ti)
 	}
 
-	// Raw path. Collect per-group, per-bucket raw values, one stripe at a time. A
-	// series lives entirely within one stripe, so values are never split;
-	// a query concurrent with writes sees each stripe at a (slightly)
-	// different instant — fine for the monitoring workload this serves.
+	// Raw path. Candidate series are resolved lock-free from the
+	// copy-on-write directory; each stripe's read lock is held only while
+	// that stripe's columns are scanned. A series lives entirely within one
+	// stripe, so values are never split; a query concurrent with writes
+	// sees each stripe at a (slightly) different instant — fine for the
+	// monitoring workload this serves.
+	matched := matchIdents(db.dir.Load(), &q)
 	groups := map[string][][]float64{}
-	for _, st := range db.stripes {
-		st.mu.RLock()
-		for _, shStart := range st.order {
-			sh := st.shards[shStart]
-			if sh.end <= q.Start || sh.start >= q.End {
+	for si, st := range db.stripes {
+		locked := false
+		for _, id := range matched {
+			if id.stripeIdx != uint32(si) {
 				continue
 			}
-			for _, sr := range candidateSeries(sh, q) {
-				if sr.name != q.Measurement || !matchTags(sr.tags, q.Where) {
+			if !locked {
+				st.mu.RLock()
+				locked = true
+			}
+			group := ""
+			if q.GroupBy != "" {
+				group = tagValue(id.tags, q.GroupBy)
+			}
+			for _, is := range id.rawShards() {
+				if is.end <= q.Start || is.start >= q.End {
 					continue
 				}
-				col, ok := sr.fields[q.Field]
-				if !ok {
+				sr := is.sr
+				ci := sr.findCol(q.Field)
+				if ci < 0 {
 					continue
 				}
-				group := ""
-				if q.GroupBy != "" {
-					group = tagValue(sr.tags, q.GroupBy)
-				}
+				col := sr.cols[ci]
 				buckets := groups[group]
 				if buckets == nil {
 					buckets = make([][]float64, nBuckets)
@@ -198,7 +206,9 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 				}
 			}
 		}
-		st.mu.RUnlock()
+		if locked {
+			st.mu.RUnlock()
+		}
 	}
 
 	out := make([]SeriesResult, 0, len(groups))
@@ -268,37 +278,33 @@ func (db *DB) tierCovers(t *RollupTier, start, maxT int64) bool {
 		(db.opts.Retention > 0 && t.Retention >= db.opts.Retention)
 }
 
-// candidateSeries narrows the scan using the inverted index when a filter
-// or group-by key exists; otherwise returns all series in the shard.
-func candidateSeries(sh *shard, q Query) []*series {
-	// Use the most selective Where clause available in this shard's index.
-	var best []*series
-	found := false
-	for _, w := range q.Where {
-		if vm, ok := sh.index[w.Key]; ok {
-			list := vm[w.Value]
-			if !found || len(list) < len(best) {
-				best = list
-				found = true
-			}
-		} else {
-			// Key not present in this shard at all: no series matches.
-			return nil
+// matchIdents returns the directory entries matching the query's
+// measurement and Where filters, in interned (first-write) order — a fully
+// lock-free scan of the published snapshot. A Where clause requires the
+// tag key to be present with an equal value: a series without the key does
+// not match even when the filter value is "" (the semantics the inverted
+// index used to enforce).
+func matchIdents(d *seriesDir, q *Query) []*seriesIdent {
+	var out []*seriesIdent
+	for _, id := range d.idents {
+		if id.name != q.Measurement || !matchWhere(id.tags, q.Where) {
+			continue
 		}
+		out = append(out, id)
 	}
-	if found {
-		return best
-	}
-	all := make([]*series, 0, len(sh.series))
-	for _, sr := range sh.series {
-		all = append(all, sr)
-	}
-	return all
+	return out
 }
 
-func matchTags(tags []Tag, where []Tag) bool {
+func matchWhere(tags []Tag, where []Tag) bool {
 	for _, w := range where {
-		if tagValue(tags, w.Key) != w.Value {
+		ok := false
+		for _, t := range tags {
+			if t.Key == w.Key {
+				ok = t.Value == w.Value
+				break
+			}
+		}
+		if !ok {
 			return false
 		}
 	}

@@ -1,0 +1,455 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRefValidation(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+
+	if _, err := db.Ref("latency", nil); err != ErrNoFields {
+		t.Fatalf("no fields: got %v, want ErrNoFields", err)
+	}
+	if _, err := db.Ref("latency", nil, "a", "b", "a"); err != ErrBadRef {
+		t.Fatalf("dup fields: got %v, want ErrBadRef", err)
+	}
+
+	tags := []Tag{{Key: "dst", Value: "x"}, {Key: "src", Value: "y"}}
+	r1, err := db.Ref("latency", tags, "total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same identity in different tag order → same handle.
+	r2, err := db.Ref("latency", []Tag{tags[1], tags[0]}, "total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("Ref not idempotent: %d vs %d", r1, r2)
+	}
+	// Different field set → different handle.
+	r3, err := db.Ref("latency", tags, "total_ms", "internal_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatalf("distinct field sets share a handle")
+	}
+
+	if _, err := db.WriteBatchRef([]RefPoint{{Ref: 99, Time: 1, Vals: []float64{1}}}); err != ErrBadRef {
+		t.Fatalf("unknown ref: got %v, want ErrBadRef", err)
+	}
+	if _, err := db.WriteBatchRef([]RefPoint{{Ref: r1, Time: 1, Vals: []float64{1, 2}}}); err != ErrBadRef {
+		t.Fatalf("wrong Vals len: got %v, want ErrBadRef", err)
+	}
+	if n, err := db.WriteBatchRef(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch: got (%d, %v)", n, err)
+	}
+	if n, err := db.WriteBatchRef([]RefPoint{{Ref: r1, Time: 1, Vals: []float64{5}}}); n != 1 || err != nil {
+		t.Fatalf("write: got (%d, %v)", n, err)
+	}
+
+	db.Close()
+	if _, err := db.Ref("latency", tags, "total_ms"); err != ErrClosedDB {
+		t.Fatalf("closed Ref: got %v, want ErrClosedDB", err)
+	}
+	if _, err := db.WriteBatchRef([]RefPoint{{Ref: r1, Time: 2, Vals: []float64{5}}}); err != ErrClosedDB {
+		t.Fatalf("closed WriteBatchRef: got %v, want ErrClosedDB", err)
+	}
+}
+
+// preGrowSeries re-backs a ref's live raw columns with large-capacity
+// slices so a measured write loop never triggers slice growth — the test
+// pins the write path's own allocations, not amortized storage growth.
+func preGrowSeries(db *DB, ref SeriesRef, rows int) {
+	rs := db.dir.Load().refs[ref]
+	st := db.stripes[rs.ident.stripeIdx]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, is := range rs.ident.rawShards() {
+		sr := is.sr
+		sr.times = append(make([]int64, 0, rows), sr.times...)
+		for ci := range sr.cols {
+			sr.cols[ci] = append(make([]float64, 0, rows), sr.cols[ci]...)
+		}
+	}
+}
+
+// TestWriteBatchRefZeroAllocSteadyState pins the tentpole claim: once a
+// ref's series, columns and tier buckets exist (and column capacity is
+// pre-grown so slice growth is out of the picture), WriteBatchRef performs
+// zero heap allocations per batch — rollup tiers included.
+func TestWriteBatchRefZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	db := Open(Options{Rollups: []RollupTier{{Width: 1e9}, {Width: 10e9}}})
+	defer db.Close()
+
+	ref, err := db.Ref("latency",
+		[]Tag{{Key: "src_city", Value: "Auckland"}, {Key: "dst_city", Value: "Los Angeles"}},
+		"internal_ms", "external_ms", "total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 64
+	pts := make([]RefPoint, batchLen)
+	vals := make([]float64, 3*batchLen)
+	for i := range pts {
+		v := vals[3*i : 3*i+3 : 3*i+3]
+		v[0], v[1], v[2] = 1.5, 20.25, 21.75
+		// Fixed timestamps inside one shard and one tier bucket: repeated
+		// runs hit the hot caches, the point of a steady-state measurement.
+		pts[i] = RefPoint{Ref: ref, Time: int64(i) * 1e6, Vals: v}
+	}
+	// Warm: create shard/series/columns/tier buckets.
+	if n, err := db.WriteBatchRef(pts); n != batchLen || err != nil {
+		t.Fatalf("warm write: (%d, %v)", n, err)
+	}
+	const runs = 100
+	preGrowSeries(db, ref, (runs+8)*batchLen+batchLen)
+
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := db.WriteBatchRef(pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteBatchRef steady state allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestWriteBatchLegacyAllocBudget documents the legacy path's allocation
+// budget after the scratch-pool fix: with warm scratch, existing series and
+// sorted tags, WriteBatch itself allocates nothing per batch (slice growth
+// excluded via pre-grow). The legacy path still pays per-point hashing and
+// map/sort work — only the ref path caches resolution — but it must not
+// regress back to per-call key/scratch allocations.
+func TestWriteBatchLegacyAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	db := Open(Options{Rollups: []RollupTier{{Width: 1e9}, {Width: 10e9}}})
+	defer db.Close()
+
+	const batchLen = 64
+	pts := make([]Point, batchLen)
+	for i := range pts {
+		pts[i] = Point{
+			Name: "latency",
+			Tags: []Tag{{Key: "src_city", Value: "Auckland"}, {Key: "dst_city", Value: "Los Angeles"}},
+			Fields: []Field{
+				{Key: "internal_ms", Value: 1.5},
+				{Key: "external_ms", Value: 20.25},
+				{Key: "total_ms", Value: 21.75},
+			},
+			Time: int64(i) * 1e6,
+		}
+	}
+	if n, err := db.WriteBatch(pts); n != batchLen || err != nil {
+		t.Fatalf("warm write: (%d, %v)", n, err)
+	}
+	ref, err := db.Ref("latency", pts[0].Tags, "internal_ms", "external_ms", "total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 100
+	preGrowSeries(db, ref, (runs+8)*batchLen+2*batchLen)
+
+	allocs := testing.AllocsPerRun(runs, func() {
+		if _, err := db.WriteBatch(pts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const legacyBudget = 1.0 // allocs per BATCH (not per point)
+	if allocs > legacyBudget {
+		t.Fatalf("legacy WriteBatch allocated %.1f times per batch, budget %.1f", allocs, legacyBudget)
+	}
+}
+
+// resultsEqual compares query results treating NaN == NaN (empty buckets
+// carry NaN value aggregates, which reflect.DeepEqual would reject).
+func resultsEqual(a, b []SeriesResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Group != b[i].Group || a[i].Tier != b[i].Tier || len(a[i].Buckets) != len(b[i].Buckets) {
+			return false
+		}
+		for j := range a[i].Buckets {
+			ba, bb := a[i].Buckets[j], b[i].Buckets[j]
+			if ba.Start != bb.Start || ba.Count != bb.Count || len(ba.Aggs) != len(bb.Aggs) {
+				return false
+			}
+			for k, va := range ba.Aggs {
+				vb, ok := bb.Aggs[k]
+				if !ok {
+					return false
+				}
+				// Bit-identical: NaN matches NaN, and -0 vs +0 would differ.
+				if math.Float64bits(va) != math.Float64bits(vb) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// refSeriesShape is one randomized series identity with a fixed field set.
+type refSeriesShape struct {
+	name   string
+	tags   []Tag
+	fields []string
+	ref    SeriesRef
+}
+
+// writeShapesEverywhere writes identical random data into legacy (via
+// Write/WriteBatch) and refDB (via WriteBatchRef) and returns the shapes.
+func writeShapesEverywhere(t *testing.T, rng *rand.Rand, legacy, refDB *DB, nPoints int) []refSeriesShape {
+	t.Helper()
+	cities := []string{"Auckland", "Wellington", "Sydney", "Tokyo"}
+	allFields := []string{"internal_ms", "external_ms", "total_ms"}
+	var shapes []refSeriesShape
+	for _, src := range cities {
+		for _, dst := range cities[:2] {
+			fs := allFields[:1+rng.Intn(3)]
+			sh := refSeriesShape{
+				name: "latency",
+				tags: []Tag{
+					{Key: "src_city", Value: src},
+					{Key: "dst_city", Value: dst},
+				},
+				fields: append([]string(nil), fs...),
+			}
+			ref, err := refDB.Ref(sh.name, sh.tags, sh.fields...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh.ref = ref
+			shapes = append(shapes, sh)
+		}
+	}
+
+	var legacyBatch []Point
+	var refBatch []RefPoint
+	flush := func() {
+		if len(legacyBatch) == 0 {
+			return
+		}
+		if n, err := legacy.WriteBatch(legacyBatch); n != len(legacyBatch) || err != nil {
+			t.Fatalf("legacy WriteBatch: (%d, %v)", n, err)
+		}
+		if n, err := refDB.WriteBatchRef(refBatch); n != len(refBatch) || err != nil {
+			t.Fatalf("WriteBatchRef: (%d, %v)", n, err)
+		}
+		legacyBatch, refBatch = legacyBatch[:0], refBatch[:0]
+	}
+	for i := 0; i < nPoints; i++ {
+		sh := shapes[rng.Intn(len(shapes))]
+		tm := rng.Int63n(100e9)
+		vals := make([]float64, len(sh.fields))
+		var fields []Field
+		for j, k := range sh.fields {
+			v := float64(1 + rng.Intn(97)) // integer values: float sums exact under reordering
+			if rng.Intn(10) == 0 {
+				v = math.NaN() // absent field
+			}
+			vals[j] = v
+			fields = append(fields, Field{Key: k, Value: v})
+		}
+		// Unsorted tags on the legacy side exercise sortTags.
+		tags := []Tag{sh.tags[1], sh.tags[0]}
+		legacyBatch = append(legacyBatch, Point{Name: sh.name, Tags: tags, Fields: fields, Time: tm})
+		refBatch = append(refBatch, RefPoint{Ref: sh.ref, Time: tm, Vals: vals})
+		if len(legacyBatch) == 37 || rng.Intn(50) == 0 {
+			flush()
+		}
+	}
+	flush()
+	return shapes
+}
+
+// compareDBs asserts legacy and refDB answer identically: write stats,
+// series counts, tag values, raw-path and tier-served queries, grouped and
+// filtered.
+func compareDBs(t *testing.T, legacy, refDB *DB, field string) {
+	t.Helper()
+	lw, ld := legacy.WriteStats()
+	rw, rd := refDB.WriteStats()
+	if lw != rw || ld != rd {
+		t.Fatalf("WriteStats differ: legacy (%d,%d) ref (%d,%d)", lw, ld, rw, rd)
+	}
+	if a, b := legacy.SeriesCount(), refDB.SeriesCount(); a != b {
+		t.Fatalf("SeriesCount differ: %d vs %d", a, b)
+	}
+	for _, key := range []string{"src_city", "dst_city", "nope"} {
+		a := legacy.TagValues(key, 0, 100e9)
+		b := refDB.TagValues(key, 0, 100e9)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("TagValues(%q) differ: %v vs %v", key, a, b)
+		}
+	}
+	queries := []Query{
+		{Measurement: "latency", Field: field, Start: 0, End: 100e9,
+			Aggs:       []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean, AggMedian, AggP95, AggP99},
+			Resolution: ResolutionRaw},
+		{Measurement: "latency", Field: field, Start: 0, End: 100e9, Window: 10e9,
+			GroupBy: "src_city", Aggs: []AggKind{AggCount, AggSum, AggMin, AggMax},
+			Resolution: ResolutionRaw},
+		{Measurement: "latency", Field: field, Start: 0, End: 100e9, Window: 10e9,
+			Where: []Tag{{Key: "dst_city", Value: "Auckland"}}, GroupBy: "src_city",
+			Aggs: []AggKind{AggCount, AggSum}},
+		{Measurement: "latency", Field: field, Start: 0, End: 100e9, Window: 10e9,
+			GroupBy: "src_city", Aggs: []AggKind{AggCount, AggSum, AggMin, AggMax, AggMean}},
+	}
+	for qi, q := range queries {
+		a, errA := legacy.Execute(q)
+		b, errB := refDB.Execute(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("query %d: errs %v vs %v", qi, errA, errB)
+		}
+		if !resultsEqual(a, b) {
+			t.Fatalf("query %d results differ:\nlegacy: %+v\nref:    %+v", qi, a, b)
+		}
+	}
+}
+
+// TestRefLegacyEquivalenceRandomized drives identical randomized writes
+// through the legacy and the interned-ref paths and asserts bit-identical
+// query results — raw and tier-served — plus identical stats and tag
+// indexes.
+func TestRefLegacyEquivalenceRandomized(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		opts := Options{
+			ShardDuration: 10e9,
+			Stripes:       1 << uint(rng.Intn(4)),
+			Rollups:       []RollupTier{{Width: 1e9}, {Width: 10e9}},
+		}
+		if trial%2 == 1 {
+			opts.Retention = 50e9 // exercise retention drops + directory unpublish
+		}
+		legacy := Open(opts)
+		refDB := Open(opts)
+		writeShapesEverywhere(t, rng, legacy, refDB, 2000)
+		for _, f := range []string{"internal_ms", "external_ms", "total_ms"} {
+			compareDBs(t, legacy, refDB, f)
+		}
+		legacy.Close()
+		refDB.Close()
+	}
+}
+
+// TestRefMixedWithLegacyWrites interleaves ref writes with legacy writes
+// that extend the same series with a new field, forcing the ref hot cache
+// to re-resolve and pad foreign columns — and checks against a pure-legacy
+// mirror of the same sequence.
+func TestRefMixedWithLegacyWrites(t *testing.T) {
+	opts := Options{ShardDuration: 10e9, Rollups: []RollupTier{{Width: 1e9}}}
+	legacy := Open(opts)
+	refDB := Open(opts)
+	defer legacy.Close()
+	defer refDB.Close()
+
+	tags := []Tag{{Key: "src_city", Value: "Auckland"}, {Key: "dst_city", Value: "Sydney"}}
+	ref, err := refDB.Ref("latency", tags, "total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeBoth := func(p Point) {
+		q := p
+		q.Tags = append([]Tag(nil), p.Tags...)
+		q.Fields = append([]Field(nil), p.Fields...)
+		if err := legacy.Write(&q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		tm := int64(i) * 1e8
+		if i%3 == 2 {
+			// Legacy write extending the series with a second field.
+			p := Point{Name: "latency", Tags: tags,
+				Fields: []Field{{Key: "total_ms", Value: float64(i)}, {Key: "retrans", Value: float64(i % 3)}},
+				Time:   tm}
+			writeBoth(p)
+			r := p
+			r.Tags = append([]Tag(nil), tags...)
+			r.Fields = append([]Field(nil), p.Fields...)
+			if err := refDB.Write(&r); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		writeBoth(Point{Name: "latency", Tags: tags,
+			Fields: []Field{{Key: "total_ms", Value: float64(i)}}, Time: tm})
+		if n, err := refDB.WriteBatchRef([]RefPoint{{Ref: ref, Time: tm, Vals: []float64{float64(i)}}}); n != 1 || err != nil {
+			t.Fatalf("WriteBatchRef: (%d, %v)", n, err)
+		}
+	}
+	for _, f := range []string{"total_ms", "retrans"} {
+		compareDBs(t, legacy, refDB, f)
+	}
+}
+
+// TestRefWALCrashRestoreEquivalence writes through the ref path into a
+// persistent DB, simulates a crash, reopens, and asserts the recovered
+// state answers identically to an in-memory DB fed the same data through
+// the legacy path — the WAL's self-describing record format makes the
+// write path invisible to durability.
+func TestRefWALCrashRestoreEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		ShardDuration: 10e9,
+		Rollups:       []RollupTier{{Width: 1e9}, {Width: 10e9}},
+		// FsyncAlways: every acked batch survives the simulated crash, so
+		// recovered state must equal the mirror exactly.
+		Persist: persistOpts(dir, FsyncAlways),
+	}
+	db, err := OpenDB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memOpts := opts
+	memOpts.Persist = nil
+	mirror := Open(memOpts)
+	defer mirror.Close()
+
+	rng := rand.New(rand.NewSource(99))
+	writeShapesEverywhere(t, rng, mirror, db, 1200)
+	crashDB(db)
+
+	db2, err := OpenDB(opts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	for _, key := range []string{"src_city", "dst_city"} {
+		a := mirror.TagValues(key, 0, 100e9)
+		b := db2.TagValues(key, 0, 100e9)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("TagValues(%q) differ after crash restore: %v vs %v", key, a, b)
+		}
+	}
+	for _, f := range []string{"internal_ms", "external_ms", "total_ms"} {
+		for _, resolution := range []int64{ResolutionRaw, ResolutionAuto} {
+			q := Query{Measurement: "latency", Field: f, Start: 0, End: 100e9, Window: 10e9,
+				GroupBy: "src_city", Resolution: resolution,
+				Aggs: []AggKind{AggCount, AggMin, AggMax, AggSum, AggMean}}
+			a, errA := mirror.Execute(q)
+			b, errB := db2.Execute(q)
+			if errA != nil || errB != nil {
+				t.Fatalf("Execute: %v / %v", errA, errB)
+			}
+			if !resultsEqual(a, b) {
+				t.Fatalf("field %s resolution %d differs after crash restore:\nmirror: %+v\nrestored: %+v",
+					f, resolution, a, b)
+			}
+		}
+	}
+}

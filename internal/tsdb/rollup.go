@@ -185,20 +185,21 @@ func (c *tierColumn) at(start int64) *rbucket {
 }
 
 // tierSeries is one (measurement, tagset)'s rollup state within one tier
-// shard — the tier analogue of series.
+// shard — the tier analogue of series. name/tags alias the owning ident's
+// strings.
 type tierSeries struct {
 	name   string
 	tags   []Tag
+	ident  *seriesIdent
 	fields map[string]*tierColumn
 }
 
-// tierShard groups a tier's series for one ShardDuration time slice, with
-// the same inverted tag index shape the raw shards use, so tier queries
-// narrow by Where/GroupBy identically.
+// tierShard groups a tier's series for one ShardDuration time slice. Tier
+// queries resolve series through the copy-on-write directory (ref.go), so
+// tier shards carry no inverted index.
 type tierShard struct {
 	start, end int64
 	series     map[string]*tierSeries
-	index      map[string]map[string][]*tierSeries
 }
 
 // tierStripe is one tier's shard map within one stripe.
@@ -237,7 +238,7 @@ func (db *DB) Rollups() []RollupTier {
 // covers it. Caller holds st.mu. A point behind the raw retention horizon
 // but within a coarse tier's horizon still lands in that tier — long tier
 // retention is the reason rollups exist.
-func (db *DB) writeTiersLocked(st *stripe, p *Point, key string, maxT int64) {
+func (db *DB) writeTiersLocked(st *stripe, p *Point, key []byte, maxT int64) {
 	// One histogram bin computation per field, shared across tiers.
 	var binsArr [8]uint16
 	bins := binsArr[:0]
@@ -258,25 +259,16 @@ func (db *DB) writeTiersLocked(st *stripe, p *Point, key string, maxT int64) {
 				start:  shStart,
 				end:    shStart + db.opts.ShardDuration,
 				series: make(map[string]*tierSeries),
-				index:  make(map[string]map[string][]*tierSeries),
 			}
 			ts.shards[shStart] = sh
 			ts.order = insertSorted(ts.order, shStart)
 		}
-		sr, ok := sh.series[key]
+		sr, ok := sh.series[string(key)] // no-alloc map lookup
 		if !ok {
-			tags := make([]Tag, len(p.Tags))
-			copy(tags, p.Tags)
-			sr = &tierSeries{name: p.Name, tags: tags, fields: make(map[string]*tierColumn)}
-			sh.series[key] = sr
-			for _, t := range tags {
-				vm := sh.index[t.Key]
-				if vm == nil {
-					vm = make(map[string][]*tierSeries)
-					sh.index[t.Key] = vm
-				}
-				vm[t.Value] = append(vm[t.Value], sr)
-			}
+			id := db.intern(p.Name, p.Tags, key)
+			sr = &tierSeries{name: id.name, tags: id.tags, ident: id, fields: make(map[string]*tierColumn)}
+			sh.series[id.key] = sr
+			id.addTierShard(ti, identTierShard{start: sh.start, end: sh.end, ts: sr})
 		}
 		for fi, f := range p.Fields {
 			if math.IsNaN(f.Value) {
@@ -304,8 +296,12 @@ func (db *DB) enforceTierRetentionLocked(st *stripe, maxT int64) {
 		ts := &st.tiers[ti]
 		for len(ts.order) > 0 {
 			start := ts.order[0]
-			if ts.shards[start].end > horizon {
+			sh := ts.shards[start]
+			if sh.end > horizon {
 				break
+			}
+			for _, sr := range sh.series {
+				sr.ident.dropTierShard(ti, start)
 			}
 			delete(ts.shards, start)
 			ts.order = ts.order[1:]
@@ -431,35 +427,11 @@ func histValueAt(h *[histBins]uint64, k uint64, lo, hi float64) float64 {
 	return hi
 }
 
-// candidateTierSeries mirrors candidateSeries for a tier shard: narrow the
-// scan with the inverted index when a Where key is present in this shard.
-func candidateTierSeries(sh *tierShard, q *Query) []*tierSeries {
-	var best []*tierSeries
-	found := false
-	for _, w := range q.Where {
-		if vm, ok := sh.index[w.Key]; ok {
-			list := vm[w.Value]
-			if !found || len(list) < len(best) {
-				best = list
-				found = true
-			}
-		} else {
-			return nil
-		}
-	}
-	if found {
-		return best
-	}
-	all := make([]*tierSeries, 0, len(sh.series))
-	for _, sr := range sh.series {
-		all = append(all, sr)
-	}
-	return all
-}
-
 // executeTier serves a query from one rollup tier by streaming tier buckets
 // into per-group accumulators — the whole scan touches O(range/tierWidth)
-// pre-aggregates per series instead of every raw sample. The planner
+// pre-aggregates per series instead of every raw sample. Candidate series
+// are resolved lock-free from the copy-on-write directory; stripe read
+// locks are held only while a stripe's tier buckets are merged. The planner
 // (planTier) has already verified alignment, so each tier bucket maps to
 // exactly one output bucket.
 func (db *DB) executeTier(q *Query, window int64, nBuckets, ti int) ([]SeriesResult, error) {
@@ -470,26 +442,29 @@ func (db *DB) executeTier(q *Query, window int64, nBuckets, ti int) ([]SeriesRes
 			needQuant = true
 		}
 	}
+	matched := matchIdents(db.dir.Load(), q)
 	groups := map[string][]rollAcc{}
-	for _, st := range db.stripes {
-		st.mu.RLock()
-		ts := &st.tiers[ti]
-		for _, shStart := range ts.order {
-			sh := ts.shards[shStart]
-			if sh.end <= q.Start || sh.start >= q.End {
+	for si, st := range db.stripes {
+		locked := false
+		for _, id := range matched {
+			if id.stripeIdx != uint32(si) {
 				continue
 			}
-			for _, sr := range candidateTierSeries(sh, q) {
-				if sr.name != q.Measurement || !matchTags(sr.tags, q.Where) {
+			if !locked {
+				st.mu.RLock()
+				locked = true
+			}
+			group := ""
+			if q.GroupBy != "" {
+				group = tagValue(id.tags, q.GroupBy)
+			}
+			for _, its := range id.tierShards(ti) {
+				if its.end <= q.Start || its.start >= q.End {
 					continue
 				}
-				col, ok := sr.fields[q.Field]
+				col, ok := its.ts.fields[q.Field]
 				if !ok {
 					continue
-				}
-				group := ""
-				if q.GroupBy != "" {
-					group = tagValue(sr.tags, q.GroupBy)
 				}
 				accs := groups[group]
 				if accs == nil {
@@ -504,7 +479,9 @@ func (db *DB) executeTier(q *Query, window int64, nBuckets, ti int) ([]SeriesRes
 				}
 			}
 		}
-		st.mu.RUnlock()
+		if locked {
+			st.mu.RUnlock()
+		}
 	}
 
 	out := make([]SeriesResult, 0, len(groups))

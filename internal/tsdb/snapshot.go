@@ -96,8 +96,8 @@ func marshalShardLocked(w io.Writer, sh *shard, buf []byte) (int64, []byte, erro
 			p.Name = sr.name
 			p.Tags = sr.tags
 			p.Fields = p.Fields[:0]
-			for k, col := range sr.fields {
-				v := col[i]
+			for ci, k := range sr.fkeys {
+				v := sr.cols[ci][i]
 				if v != v { // NaN: field absent for this point
 					continue
 				}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory gate: runs the fixed microbenchmark suite
+# (`ruru-bench -json`, see internal/bench) and compares ns/op per benchmark
+# against the newest checked-in BENCH_*.json. A regression beyond the noise
+# tolerance fails the build; a new benchmark (absent from the baseline) and
+# a benchmark removed from the suite are both reported but never fail.
+#
+# Usage: scripts/bench_compare.sh [out.json]
+#   out.json     where to write the fresh trajectory entry
+#                (default: bench_current.json, uploaded as a CI artifact)
+#
+# Environment:
+#   BENCH_TOL        allowed ns/op regression factor (default 1.15 = +15%)
+#   BENCH_BASELINE   explicit baseline file (default: newest BENCH_*.json
+#                    in the repo root by PR number)
+#   BENCH_TIME       per-benchmark run time (default 1s)
+#
+# The checked-in BENCH_PRn.json files form the performance trajectory of
+# the repo: one entry per PR that touched a hot path. To record a new
+# entry, run `go run ./cmd/ruru-bench -json BENCH_PRn.json` on a quiet
+# machine and commit the file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-bench_current.json}
+TOL=${BENCH_TOL:-1.15}
+BENCHTIME=${BENCH_TIME:-1s}
+
+baseline=${BENCH_BASELINE:-}
+if [ -z "$baseline" ]; then
+  # Newest trajectory entry by PR number (version sort handles PR10 > PR9).
+  baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)
+fi
+
+go run ./cmd/ruru-bench -json "$OUT" -benchtime "$BENCHTIME"
+
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+  echo "bench_compare: skipping comparison (no BENCH_*.json baseline checked in)"
+  exit 0
+fi
+echo "bench_compare: comparing $OUT against baseline $baseline (tolerance ${TOL}x)"
+
+# Plain-shell JSON extraction: the files are machine-written with one key
+# per line, so "name"/"ns_per_op" pairs can be scraped without jq (which
+# the CI image may not have).
+extract() { # extract FILE -> lines "name ns_per_op"
+  awk '
+    /^    "[^"]+": \{$/ { name = $1; gsub(/^"|":$/, "", name); next }
+    /"ns_per_op":/ && name != "" {
+      v = $2; gsub(/,$/, "", v)
+      print name, v
+      name = ""
+    }
+  ' "$1"
+}
+
+extract "$baseline" | sort > /tmp/bench_base.$$
+extract "$OUT" | sort > /tmp/bench_cur.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cur.$$' EXIT
+
+fail=0
+while read -r name cur; do
+  base=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base.$$)
+  if [ -z "$base" ]; then
+    echo "  NEW   $name: ${cur} ns/op (no baseline entry)"
+    continue
+  fi
+  verdict=$(awk -v b="$base" -v c="$cur" -v tol="$TOL" 'BEGIN {
+    ratio = c / b
+    printf "%.3f", ratio
+    exit (ratio > tol) ? 1 : 0
+  }') && ok=1 || ok=0
+  if [ "$ok" = 1 ]; then
+    echo "  ok    $name: ${cur} vs ${base} ns/op (${verdict}x)"
+  else
+    echo "  FAIL  $name: ${cur} vs ${base} ns/op (${verdict}x > ${TOL}x tolerance)"
+    fail=1
+  fi
+done < /tmp/bench_cur.$$
+
+while read -r name base; do
+  if ! grep -q "^$name " /tmp/bench_cur.$$; then
+    echo "  GONE  $name: in baseline ($base ns/op) but not in current suite"
+  fi
+done < /tmp/bench_base.$$
+
+if [ "$fail" = 1 ]; then
+  echo "bench_compare: ns/op regression beyond ${TOL}x tolerance" >&2
+  exit 1
+fi
+echo "bench_compare: ok"
