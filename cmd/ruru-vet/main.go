@@ -1,0 +1,68 @@
+// Command ruru-vet is the repo-invariant multichecker: it runs the
+// standard `go vet` passes followed by ruru's custom analyzers
+// (lockorder, atomicmix, noalloc, mustcheck — see internal/lint) over
+// the requested packages. CI runs it blocking on ./...; developers run
+// it directly or through scripts/lint.sh.
+//
+// Usage:
+//
+//	go run ./cmd/ruru-vet [-vet=false] [packages...]
+//
+// With no package arguments it checks ./... . Exit status is nonzero if
+// any check reports a finding. Findings are suppressed per line with a
+// justified directive: //ruru:ignore <analyzer> <why> (see
+// docs/TESTING.md "Static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"ruru/internal/lint"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the standard `go vet` passes first")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ruru-vet:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.Analyzers()
+	n := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruru-vet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "ruru-vet: %d finding(s)\n", n)
+	}
+	if failed || n > 0 {
+		os.Exit(1)
+	}
+}

@@ -35,7 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer p.Close()
+	defer func() {
+		if err := p.Close(); err != nil {
+			log.Printf("pipeline close: %v", err)
+		}
+	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go p.Run(ctx)

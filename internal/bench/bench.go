@@ -357,7 +357,11 @@ func benchWALWrite(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			b.Error(err)
+		}
+	}()
 	batch := make([]tsdb.Point, batchLen)
 	var t int64
 	b.ReportAllocs()

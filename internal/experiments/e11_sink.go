@@ -90,8 +90,8 @@ func E11(cfg E11Config, w io.Writer) ([]E11Row, error) {
 	return rows, nil
 }
 
-func e11Run(workers int, cfg E11Config, payloads [][]byte) (E11Row, error) {
-	row := E11Row{Workers: workers, Stripes: cfg.Stripes, Messages: cfg.Messages}
+func e11Run(workers int, cfg E11Config, payloads [][]byte) (row E11Row, err error) {
+	row = E11Row{Workers: workers, Stripes: cfg.Stripes, Messages: cfg.Messages}
 	world, err := geo.NewWorld(geo.WorldOptions{Seed: 1})
 	if err != nil {
 		return row, err
@@ -106,7 +106,11 @@ func e11Run(workers int, cfg E11Config, payloads [][]byte) (E11Row, error) {
 	if err != nil {
 		return row, err
 	}
-	defer p.Close()
+	defer func() {
+		if cerr := p.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan struct{})

@@ -117,7 +117,9 @@ func E13(cfg E13Config, w io.Writer) (E13Result, error) {
 			return 0, err
 		}
 		rate, err := run(db, batches, 0, len(batches))
-		db.Close()
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
 		return rate, err
 	}
 	median := func(rates []float64) float64 {
@@ -148,7 +150,9 @@ func E13(cfg E13Config, w io.Writer) (E13Result, error) {
 	if err != nil {
 		return res, err
 	}
-	memDB.Close()
+	if err := memDB.Close(); err != nil {
+		return res, err
+	}
 
 	// 2. Interleaved cost legs: in-memory, WAL fsync=off (marshal+write,
 	// no fsync) and WAL fsync=interval (the production default), each on
@@ -231,7 +235,9 @@ func E13(cfg E13Config, w io.Writer) (E13Result, error) {
 	if err != nil {
 		return res, err
 	}
-	defer reDB.Close()
+	// reDB is read-only verification state; nothing new was written, so
+	// a close error cannot change what the experiment measured.
+	defer func() { _ = reDB.Close() }()
 	ps := reDB.PersistStats()
 	res.Restored, res.Replayed = ps.RestoredPoints, ps.WALReplayedPoints
 	res.RecoverOK = res.Restored+res.Replayed == uint64(cfg.Points)

@@ -61,7 +61,9 @@ func E14(cfg E14Config, w io.Writer) (E14Result, error) {
 	res := E14Result{Probes: cfg.Probes, Points: cfg.Points}
 
 	db := tsdb.Open(tsdb.Options{})
-	defer db.Close()
+	// In-memory DB: Close only errors on double-close, which would be a
+	// harness bug worth keeping invisible to the experiment result.
+	defer func() { _ = db.Close() }()
 	agg, err := fed.NewAggregator(fed.AggConfig{Listen: "127.0.0.1:0"}, db)
 	if err != nil {
 		return res, err
@@ -202,10 +204,16 @@ func E14(cfg E14Config, w io.Writer) (E14Result, error) {
 	res.Rate = float64(res.Applied) / took.Seconds()
 
 	cancel()
+	var closeErr error
 	for _, rig := range rigs {
 		<-rig.done
-		rig.pr.Close()
+		if cerr := rig.pr.Close(); cerr != nil && closeErr == nil {
+			closeErr = cerr
+		}
 		rig.bus.Close()
+	}
+	if closeErr != nil {
+		return res, closeErr
 	}
 
 	if w != nil {

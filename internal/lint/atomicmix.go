@@ -1,0 +1,107 @@
+package lint
+
+// atomicmix: atomics-only discipline for struct fields.
+//
+// If any code in a package touches a struct field through the sync/atomic
+// free functions (atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n), …),
+// then every other access to that field in the package must also be
+// atomic: one plain read racing one atomic write is a data race the race
+// detector only catches if a test happens to interleave it. This is the
+// bug class behind several past review-round fixes (mixed head/tail
+// access on the ingest ring, stats counters read plainly in snapshots).
+//
+// Fields of the typed atomic.* wrapper types (atomic.Uint64, atomic.Bool,
+// atomic.Pointer[T], …) are type-safe by construction — every access goes
+// through Load/Store/Add — so they need no tracking here; go vet's
+// copylocks already rejects copying them. The analyzer therefore tracks
+// exactly the fields addressed by sync/atomic free-function calls.
+//
+// Initialization inside a composite literal (S{n: 0}) is allowed: a value
+// under construction is unpublished. Every other plain read, write, or
+// address-taking of a tracked field is reported; a pre-publication access
+// that is genuinely race-free can be suppressed with
+// //ruru:ignore atomicmix <why>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the analyzer.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "flags non-atomic access to struct fields that are accessed with sync/atomic elsewhere in the package",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect fields addressed by sync/atomic free functions, and
+	// the selector nodes sanctioned by appearing there.
+	tracked := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// First argument is the address of the atomic word.
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			fieldSel, ok := unary.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv, ok := pass.Info.Uses[fieldSel.Sel].(*types.Var)
+			if !ok || !fv.IsField() {
+				return true
+			}
+			if _, seen := tracked[fv]; !seen {
+				tracked[fv] = fieldSel.Pos()
+			}
+			sanctioned[fieldSel] = true
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to a tracked field is a
+	// non-atomic access. (Composite-literal field keys are plain idents,
+	// not selectors, so S{n: 0} initialization is inherently tolerated.)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !fv.IsField() {
+				return true
+			}
+			first, isTracked := tracked[fv]
+			if !isTracked || sanctioned[sel] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic (e.g. at %s); use sync/atomic here too",
+				fv.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their findings against `// want` annotations — the standard-library
+// stand-in for golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one Go package in a directory under testdata/src/<name>,
+// relative to the calling test's package directory. Every line expected
+// to produce a finding carries an end-of-line comment holding one or more
+// quoted regular expressions:
+//
+//	s.b.Lock() // want `acquires B while holding C`
+//	x, y := f() // want "first finding" "second finding"
+//
+// Each regexp must match the message of one diagnostic reported on that
+// line. A diagnostic with no matching want, and a want with no matching
+// diagnostic, both fail the test. Fixtures run through lint.RunAnalyzers
+// — the same path ruru-vet uses — so //ruru:ignore suppression behaves
+// identically, and fixtures can exercise the directives themselves.
+package linttest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ruru/internal/lint"
+)
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture at testdata/src/<fixture>, applies analyzers, and
+// diffs the diagnostics against the fixture's want annotations.
+func Run(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := lint.LoadFixture(dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every `// want` comment in the fixture.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				out = append(out, parseWantComment(t, pkg, c)...)
+			}
+		}
+	}
+	return out
+}
+
+func parseWantComment(t *testing.T, pkg *lint.Package, c *ast.Comment) []*want {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*want
+	for _, q := range wantArgRe.FindAllString(m[1], -1) {
+		var pattern string
+		if strings.HasPrefix(q, "`") {
+			pattern = strings.Trim(q, "`")
+		} else {
+			var err error
+			pattern, err = strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+			}
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+		}
+		out = append(out, &want{
+			file: filepath.Base(pos.Filename),
+			line: pos.Line,
+			re:   re,
+			raw:  q,
+		})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted patterns: %s", pos.Filename, pos.Line, c.Text)
+	}
+	return out
+}

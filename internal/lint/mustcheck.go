@@ -1,0 +1,91 @@
+package lint
+
+// mustcheck: repo-specific unchecked-result lint.
+//
+// errcheck-style tools flag every dropped error; this analyzer instead
+// names the specific APIs whose results have historically been dropped
+// in review and whose loss is silently corrupting:
+//
+//   - (*tsdb.DB).Close — on a persistent DB the final WAL flush/fsync
+//     error surfaces only here; dropping it turns "clean shutdown loses
+//     nothing" into a hope.
+//   - (*tsdb.DB).Write / WriteBatch / WriteBatchRef — (applied, err):
+//     under a concurrent Close a batch may be partially applied, and the
+//     caller owes the loss ledger the remainder.
+//   - the WAL's append/rotate/sync results — an unchecked append error
+//     means acknowledging a write that was never made durable.
+//   - mq.WriteFrame — the federation ack path; a dropped write error
+//     desynchronizes the ack stream.
+//
+// A call whose results are dropped in an expression statement, or whose
+// call is deferred or spawned with `go` (both discard results), is
+// reported. Explicitly assigning every result to blank (`_ = db.Close()`)
+// is accepted as a deliberate, visible acknowledgement.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MustCheckSpec lists functions whose results must be used, by
+// (*types.Func).FullName(): "(*ruru/internal/tsdb.DB).Close",
+// "ruru/internal/mq.WriteFrame".
+type MustCheckSpec struct {
+	Funcs []string
+}
+
+// MustCheck builds the analyzer for spec.
+func MustCheck(spec *MustCheckSpec) *Analyzer {
+	required := make(map[string]bool, len(spec.Funcs))
+	for _, f := range spec.Funcs {
+		required[f] = true
+	}
+	return &Analyzer{
+		Name: "mustcheck",
+		Doc:  "flags dropped results of APIs whose errors are load-bearing (DB.Close, WriteBatch, WAL append/rotate, mq.WriteFrame)",
+		Run: func(p *Pass) error {
+			return runMustCheck(p, required)
+		},
+	}
+}
+
+func runMustCheck(pass *Pass, required map[string]bool) error {
+	report := func(call *ast.CallExpr, how string) {
+		fn := calleeFunc(pass, call)
+		if fn == nil || !required[fn.FullName()] {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s is %s — handle it or assign it to _ explicitly", fn.FullName(), how)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "dropped")
+				}
+			case *ast.DeferStmt:
+				report(n.Call, "dropped by defer (wrap it: defer func() { … Close() … }())")
+			case *ast.GoStmt:
+				report(n.Call, "dropped by go")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function/method, if statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,68 @@
+package lint
+
+// The repo spec: the invariants documented in ARCHITECTURE.md, as data.
+// When a lock is added or renamed, this file is the one to update — the
+// TestRepoSpecResolves test fails if a class stops matching a real field,
+// so the spec cannot silently rot.
+
+// RepoLockOrder declares ruru's mutex partial order:
+//
+//   - tsdb (ARCHITECTURE.md "Lock order"): ckptMu → commitMu → stripe mu
+//     → dirMu, with the WAL's syncMu → mu chain nesting inside commitMu
+//     and nothing ever acquired under dirMu or the WAL mu (leaf-only:
+//     no outgoing edges).
+//   - fed: Aggregator.mu, aggProbe.mu and Probe.mu have no edges at all —
+//     no two of them may ever nest (the PR-5 Stats fix made this an
+//     explicit invariant).
+func RepoLockOrder() *LockOrderSpec {
+	return &LockOrderSpec{
+		Classes: []LockClass{
+			{ID: "tsdb.ckptMu", Type: "ruru/internal/tsdb.persister", Field: "ckptMu"},
+			{ID: "tsdb.commitMu", Type: "ruru/internal/tsdb.DB", Field: "commitMu"},
+			{ID: "tsdb.stripeMu", Type: "ruru/internal/tsdb.stripe", Field: "mu"},
+			{ID: "tsdb.dirMu", Type: "ruru/internal/tsdb.DB", Field: "dirMu"},
+			{ID: "tsdb.walSyncMu", Type: "ruru/internal/tsdb.wal", Field: "syncMu"},
+			{ID: "tsdb.walMu", Type: "ruru/internal/tsdb.wal", Field: "mu"},
+			{ID: "fed.aggMu", Type: "ruru/internal/fed.Aggregator", Field: "mu"},
+			{ID: "fed.aggProbeMu", Type: "ruru/internal/fed.aggProbe", Field: "mu"},
+			{ID: "fed.probeMu", Type: "ruru/internal/fed.Probe", Field: "mu"},
+		},
+		Order: [][2]string{
+			{"tsdb.ckptMu", "tsdb.commitMu"},
+			{"tsdb.commitMu", "tsdb.stripeMu"},
+			{"tsdb.stripeMu", "tsdb.dirMu"},
+			{"tsdb.commitMu", "tsdb.walSyncMu"},
+			{"tsdb.walSyncMu", "tsdb.walMu"},
+		},
+	}
+}
+
+// RepoMustCheck lists the APIs whose dropped results have bitten before.
+func RepoMustCheck() *MustCheckSpec {
+	return &MustCheckSpec{Funcs: []string{
+		"(*ruru/internal/tsdb.DB).Close",
+		"(*ruru/internal/tsdb.DB).Write",
+		"(*ruru/internal/tsdb.DB).WriteBatch",
+		"(*ruru/internal/tsdb.DB).WriteBatchRef",
+		"(*ruru/internal/tsdb.DB).Checkpoint",
+		"(*ruru/internal/tsdb.wal).appendRecord",
+		"(*ruru/internal/tsdb.wal).AppendPoint",
+		"(*ruru/internal/tsdb.wal).AppendPoints",
+		"(*ruru/internal/tsdb.wal).Rotate",
+		"(*ruru/internal/tsdb.wal).Sync",
+		"ruru/internal/mq.WriteFrame",
+		"(*ruru/internal/ruru.Pipeline).Close",
+		"(*ruru/internal/fed.Probe).Close",
+	}}
+}
+
+// Analyzers returns the full suite, configured for this repository, in
+// the order ruru-vet runs them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrder(RepoLockOrder()),
+		AtomicMix(),
+		NoAlloc(),
+		MustCheck(RepoMustCheck()),
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the atomicmix analyzer: fields touched through sync/atomic
+// anywhere in the package must be touched that way everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits uint64
+	cold uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counters) snapshot() uint64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `non-atomic access to field hits`
+}
+
+func (c *counters) addr() *uint64 {
+	return &c.hits // want `non-atomic access to field hits`
+}
+
+// cold is never touched atomically; plain access is fine.
+func (c *counters) touchCold() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// Composite-literal initialization of a tracked field is unpublished
+// state under construction, and allowed.
+func fresh() *counters {
+	return &counters{hits: 1}
+}
+
+// A genuinely race-free pre-publication write can be suppressed with a
+// justified directive.
+func freshCopy(seed uint64) *counters {
+	c := &counters{}
+	c.hits = seed //ruru:ignore atomicmix unpublished: no other goroutine can see c yet
+	return c
+}

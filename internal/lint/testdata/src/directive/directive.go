@@ -1,0 +1,29 @@
+// Fixture for the //ruru:ignore directive rules: a bare directive and one
+// naming an unknown analyzer are themselves errors and suppress nothing;
+// a justified directive suppresses exactly its analyzer on its line. The
+// expectations live in TestIgnoreDirectives rather than want comments,
+// because the diagnostics land on the directive lines themselves.
+package directive
+
+import "sync/atomic"
+
+type c struct {
+	n uint64
+}
+
+func bump(x *c) {
+	atomic.AddUint64(&x.n, 1)
+}
+
+func bare(x *c) uint64 {
+	//ruru:ignore atomicmix
+	return x.n
+}
+
+func unknown(x *c) {
+	x.n = 0 //ruru:ignore atomicmux pre-publication write
+}
+
+func justified(x *c) uint64 {
+	return x.n //ruru:ignore atomicmix single-goroutine helper with no concurrent writers
+}

@@ -1,0 +1,50 @@
+// Regression fixture: the PR-5 federation Stats bug. Stats originally
+// walked the aggregator's probe map and took each probe's lock while
+// still holding the map lock — nesting two classes the spec declares
+// unordered (fed.aggMu and fed.aggProbeMu have no edges). The fix was a
+// two-phase snapshot; both shapes are pinned here so the analyzer
+// provably flags the old one and accepts the new one.
+package fedstats
+
+import "sync"
+
+type Aggregator struct {
+	mu     sync.Mutex
+	probes map[string]*aggProbe
+}
+
+type aggProbe struct {
+	mu          sync.Mutex
+	lastApplied uint64
+}
+
+// statsNested is the pre-fix shape.
+func (a *Aggregator) statsNested() uint64 {
+	var total uint64
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range a.probes {
+		p.mu.Lock() // want `acquires fed.aggProbeMu while holding fed.aggMu .* forbids`
+		total += p.lastApplied
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// statsTwoPhase is the fixed shape: snapshot the probe set under the map
+// lock, then visit each probe with nothing else held.
+func (a *Aggregator) statsTwoPhase() uint64 {
+	a.mu.Lock()
+	snapshot := make([]*aggProbe, 0, len(a.probes))
+	for _, p := range a.probes {
+		snapshot = append(snapshot, p)
+	}
+	a.mu.Unlock()
+	var total uint64
+	for _, p := range snapshot {
+		p.mu.Lock()
+		total += p.lastApplied
+		p.mu.Unlock()
+	}
+	return total
+}

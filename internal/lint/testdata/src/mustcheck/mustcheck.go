@@ -1,0 +1,50 @@
+// Fixture for the mustcheck analyzer: dropped results of the APIs the
+// test's spec names, in every dropping position (expression statement,
+// defer, go), plus the accepted handling forms.
+package mustcheck
+
+type DB struct{}
+
+func (db *DB) Close() error                      { return nil }
+func (db *DB) WriteBatch(pts []int) (int, error) { return len(pts), nil }
+func (db *DB) Len() int                          { return 0 }
+
+func open() *DB { return &DB{} }
+
+func dropped() {
+	db := open()
+	db.WriteBatch(nil) // want `result of \(\*mustcheck.DB\).WriteBatch is dropped`
+	db.Close()         // want `result of \(\*mustcheck.DB\).Close is dropped`
+}
+
+func deferred() error {
+	db := open()
+	defer db.Close() // want `dropped by defer`
+	return nil
+}
+
+func spawned() {
+	db := open()
+	go db.Close() // want `dropped by go`
+}
+
+func checked() error {
+	db := open()
+	if _, err := db.WriteBatch(nil); err != nil {
+		return err
+	}
+	return db.Close()
+}
+
+// Explicitly assigning every result to blank is a visible acknowledgement.
+func blankAssign() {
+	db := open()
+	_, _ = db.WriteBatch(nil)
+	_ = db.Close()
+}
+
+// Functions outside the spec are not flagged.
+func unlisted() {
+	db := open()
+	db.Len()
+}

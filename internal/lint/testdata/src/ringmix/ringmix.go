@@ -1,0 +1,41 @@
+// Regression fixture: the PR-2 ingest-ring bug class. The ring's
+// head/tail cursors were plain uint64 fields updated through sync/atomic
+// by producers and consumers — until a depth helper read one of them
+// plainly, racing the atomic writers. (The production rings have since
+// moved to typed atomic.Uint64 fields, which are safe by construction;
+// this fixture pins that the analyzer catches the original mixed shape.)
+package ringmix
+
+import "sync/atomic"
+
+type ring struct {
+	buf  []int
+	head uint64
+	tail uint64
+}
+
+func (r *ring) push(v int) bool {
+	tail := atomic.LoadUint64(&r.tail)
+	if tail-atomic.LoadUint64(&r.head) >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&uint64(len(r.buf)-1)] = v
+	atomic.StoreUint64(&r.tail, tail+1)
+	return true
+}
+
+func (r *ring) pop() (int, bool) {
+	head := atomic.LoadUint64(&r.head)
+	if head == atomic.LoadUint64(&r.tail) {
+		return 0, false
+	}
+	v := r.buf[head&uint64(len(r.buf)-1)]
+	atomic.StoreUint64(&r.head, head+1)
+	return v, true
+}
+
+// depth mixes a plain read of tail with the atomic writers above — the
+// data race the regression fixed.
+func (r *ring) depth() int {
+	return int(r.tail - atomic.LoadUint64(&r.head)) // want `non-atomic access to field tail`
+}

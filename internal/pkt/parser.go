@@ -88,6 +88,11 @@ type ParserStats struct {
 // least through the network layer; transport-layer absence (e.g. ICMP or a
 // fragment) is not an error — check s.Decoded. Errors indicate a frame the
 // pipeline should drop.
+//
+// Parse is on the per-frame hot path and must not allocate (the Summary is
+// caller-owned scratch; sub-decoders return sentinel errors).
+//
+//ruru:noalloc
 func (p *Parser) Parse(data []byte, s *Summary) error {
 	p.Stats.Frames++
 	s.Decoded = 0

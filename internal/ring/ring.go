@@ -116,6 +116,8 @@ func (r *Ring[T]) note(depth uint64) {
 
 // Push enqueues v. It returns false when the ring is full (the caller drops
 // or retries — the NIC layer counts this as an imissed, like a real NIC).
+//
+//ruru:noalloc
 func (r *Ring[T]) Push(v T) bool {
 	tail := r.tail.Load()
 	depth := tail - r.head.Load()
@@ -129,6 +131,8 @@ func (r *Ring[T]) Push(v T) bool {
 }
 
 // Pop dequeues one item, reporting whether one was available.
+//
+//ruru:noalloc
 func (r *Ring[T]) Pop() (T, bool) {
 	var zero T
 	head := r.head.Load()
@@ -144,6 +148,8 @@ func (r *Ring[T]) Pop() (T, bool) {
 // PushBurst enqueues as many items from vs as fit, returning the count.
 // This is the DPDK rte_ring_enqueue_burst analogue: one atomic round-trip
 // amortized over the whole burst.
+//
+//ruru:noalloc
 func (r *Ring[T]) PushBurst(vs []T) int {
 	tail := r.tail.Load()
 	used := tail - r.head.Load()
@@ -161,6 +167,8 @@ func (r *Ring[T]) PushBurst(vs []T) int {
 }
 
 // PopBurst dequeues up to len(out) items into out, returning the count.
+//
+//ruru:noalloc
 func (r *Ring[T]) PopBurst(out []T) int {
 	var zero T
 	head := r.head.Load()

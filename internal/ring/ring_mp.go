@@ -102,6 +102,8 @@ func (r *MPRing[T]) noteDepth(tail uint64) {
 // Push enqueues v, reporting acceptance. A false return means the ring is
 // full (or a consumer is mid-pop on the wrapping slot — the same
 // backpressure signal).
+//
+//ruru:noalloc
 func (r *MPRing[T]) Push(v T) bool {
 	for {
 		tail := r.tail.Load()
@@ -123,6 +125,8 @@ func (r *MPRing[T]) Push(v T) bool {
 }
 
 // Pop dequeues one item, reporting whether one was available.
+//
+//ruru:noalloc
 func (r *MPRing[T]) Pop() (T, bool) {
 	var zero T
 	for {
@@ -147,6 +151,8 @@ func (r *MPRing[T]) Pop() (T, bool) {
 // PushBurst enqueues as many items from vs as fit, returning the count.
 // A whole run of free slots is reserved with one CAS on tail; per-slot
 // sequence publication then makes each item visible to consumers in order.
+//
+//ruru:noalloc
 func (r *MPRing[T]) PushBurst(vs []T) int {
 	total := 0
 	for total < len(vs) {
@@ -159,6 +165,7 @@ func (r *MPRing[T]) PushBurst(vs []T) int {
 	return total
 }
 
+//ruru:noalloc
 func (r *MPRing[T]) pushSome(vs []T) int {
 	for {
 		tail := r.tail.Load()
@@ -200,6 +207,8 @@ func (r *MPRing[T]) pushSome(vs []T) int {
 }
 
 // PopBurst dequeues up to len(out) items into out, returning the count.
+//
+//ruru:noalloc
 func (r *MPRing[T]) PopBurst(out []T) int {
 	total := 0
 	for total < len(out) {
@@ -212,6 +221,7 @@ func (r *MPRing[T]) PopBurst(out []T) int {
 	return total
 }
 
+//ruru:noalloc
 func (r *MPRing[T]) popSome(out []T) int {
 	var zero T
 	for {

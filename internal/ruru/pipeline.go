@@ -316,18 +316,16 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.RemoteWrite.Addr != "" {
 		p.Remote, err = fed.NewProbe(cfg.RemoteWrite, p.Bus)
 		if err != nil {
-			p.DB.Close()
-			return nil, err
+			return nil, errors.Join(err, p.DB.Close())
 		}
 	}
 	if cfg.Federate.Listen != "" {
 		p.Agg, err = fed.NewAggregator(cfg.Federate, p.DB)
 		if err != nil {
 			if p.Remote != nil {
-				p.Remote.Close()
+				err = errors.Join(err, p.Remote.Close())
 			}
-			p.DB.Close()
-			return nil, err
+			return nil, errors.Join(err, p.DB.Close())
 		}
 	}
 	return p, nil
@@ -366,7 +364,12 @@ func (p *Pipeline) onTSSample(s *core.TSSample) {
 		Fields: []tsdb.Field{{Key: "rtt_ms", Value: float64(s.RTT) / 1e6}},
 		Time:   s.At,
 	}
-	p.DB.Write(&pt)
+	if err := p.DB.Write(&pt); err != nil {
+		// Same ledger as the sink: a lost sample (DB closing under a
+		// late queue worker) must show up in DBWriteErrors, not vanish.
+		p.sinkWriteErrors.Add(1)
+		return
+	}
 	p.tsSamples.Add(1)
 }
 

@@ -534,6 +534,33 @@ func TestPipelineContinuousRTT(t *testing.T) {
 	}
 }
 
+// TestTSSampleWriteErrorAccounting pins the onTSSample accounting fix: a
+// stream sample that can no longer be written (DB closed under a late
+// queue worker) must land in DBWriteErrors, not count as stored.
+func TestTSSampleWriteErrorAccounting(t *testing.T) {
+	w := newWorld(t)
+	p, err := New(Config{GeoDB: w.DB(), Queues: 1, TrackTimestamps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.TSSample{RTT: 2e6, At: 1e9}
+	p.onTSSample(s)
+	if got := p.Stats().TSSamples; got != 1 {
+		t.Fatalf("TSSamples = %d, want 1", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.onTSSample(s)
+	st := p.Stats()
+	if st.TSSamples != 1 {
+		t.Fatalf("TSSamples counted an unwritable sample: %d", st.TSSamples)
+	}
+	if st.DBWriteErrors != 1 {
+		t.Fatalf("DBWriteErrors = %d, want 1", st.DBWriteErrors)
+	}
+}
+
 func TestPipelineFloodDetectionViaExpiry(t *testing.T) {
 	// SYN-flood packets (never answered) must travel: port → engine →
 	// expiry → flood detector. Uses a short handshake timeout so eviction

@@ -133,12 +133,14 @@ func (p *Pipeline) seriesRefFor(sh *sinkShard, e *analytics.Enriched) (tsdb.Seri
 	return ref, nil
 }
 
-// consumeBatch dispatches one burst to all sinks: a single striped-lock
-// TSDB batch write through interned series handles (zero-alloc at steady
-// state), one coalesced WebSocket frame (only marshalled when a client is
-// connected, into the shard's reusable frame buffer), the anomaly
-// detectors in arrival order, and the shard's arc ring.
-func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
+// writeSinkBatch converts one burst into RefPoints backed by the shard's
+// value arena and writes them through the interned-handle TSDB path. The
+// steady state (arena warm, refs interned) must not allocate — the noalloc
+// analyzer enforces the construct-level discipline; the sink benchmark
+// gates the measured allocs/op.
+//
+//ruru:noalloc
+func (p *Pipeline) writeSinkBatch(sh *sinkShard, batch []sinkItem) {
 	// Reserve the value arena up front so Vals subslices stay valid while
 	// the arena fills.
 	need := len(batch) * 3
@@ -167,6 +169,15 @@ func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
 		// honest.
 		p.sinkWriteErrors.Add(uint64(len(rpts) - applied))
 	}
+}
+
+// consumeBatch dispatches one burst to all sinks: a single striped-lock
+// TSDB batch write through interned series handles (zero-alloc at steady
+// state), one coalesced WebSocket frame (only marshalled when a client is
+// connected, into the shard's reusable frame buffer), the anomaly
+// detectors in arrival order, and the shard's arc ring.
+func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
+	p.writeSinkBatch(sh, batch)
 
 	if p.Hub.Clients() > 0 {
 		sh.mu.Lock()

@@ -348,7 +348,9 @@ func openPersist(db *DB, opts PersistOptions) error {
 				case <-pr.stop:
 					return
 				case <-t.C:
-					pr.wal.Sync()
+					// A failed tick is already counted in WALAppendErrors
+					// by the sync path itself; the next tick retries.
+					_ = pr.wal.Sync()
 				}
 			}
 		}()
@@ -364,7 +366,10 @@ func openPersist(db *DB, opts PersistOptions) error {
 				case <-pr.stop:
 					return
 				case <-t.C:
-					db.Checkpoint()
+					// Background checkpoint failures are counted in
+					// CheckpointErrors by Checkpoint itself; the next
+					// tick retries with the WAL still intact.
+					_, _ = db.Checkpoint()
 				}
 			}
 		}()

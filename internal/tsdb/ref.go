@@ -281,6 +281,12 @@ func (db *DB) Ref(name string, tags []Tag, fields ...string) (SeriesRef, error) 
 // the legacy path. Fails with ErrBadRef before writing anything if any
 // point carries an unknown ref or a Vals length that does not match the
 // ref's field set.
+//
+// Steady state (in-memory DB, warm columns) must not allocate; the noalloc
+// analyzer enforces the construct-level discipline and BenchmarkWriteRef
+// gates the measured result.
+//
+//ruru:noalloc
 func (db *DB) WriteBatchRef(pts []RefPoint) (applied int, err error) {
 	if len(pts) == 0 {
 		return 0, nil
@@ -348,6 +354,8 @@ func (db *DB) WriteBatchRef(pts []RefPoint) (applied int, err error) {
 // contract (tiers first — they accept points behind the raw horizon — then
 // raw retention, then append, then retention enforcement). Caller holds
 // st.mu.
+//
+//ruru:noalloc
 func (db *DB) writeRefLocked(st *stripe, rs *refState, p *RefPoint, maxT int64) {
 	if len(db.opts.Rollups) > 0 {
 		db.writeRefTiersLocked(st, rs, p, maxT)
@@ -409,6 +417,8 @@ func (db *DB) resolveRefRaw(st *stripe, rs *refState, start int64) *series {
 
 // writeRefTiersLocked is writeTiersLocked for the ref path. Caller holds
 // st.mu.
+//
+//ruru:noalloc
 func (db *DB) writeRefTiersLocked(st *stripe, rs *refState, p *RefPoint, maxT int64) {
 	var binsArr [8]uint16
 	var bins []uint16
