@@ -1,0 +1,176 @@
+package main
+
+// The command-line surface, parsed and validated apart from main so the
+// flag→config mapping is a testable contract (TestFlagParsing): every
+// derived value — overflow policy, rollup tiers, persistence options,
+// federation roles, the continuous-RTT tracker switches — is computed
+// here, and main only assembles the process from the result.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ruru/internal/fed"
+	"ruru/internal/nic"
+	"ruru/internal/tsdb"
+)
+
+// options is the fully-parsed, validated command line.
+type options struct {
+	listen    string
+	pcapPath  string
+	rate      float64
+	duration  time.Duration
+	queues    int
+	seed      int64
+	firewall  bool
+	snapshot  string
+	burst     int
+	blockMax  time.Duration
+	multi     bool
+	sinkWk    int
+	sinkBatch int
+	dbStripes int
+	dataDir   string
+
+	// Continuous-RTT trackers: -timestamps (TSval/TSecr echo pairing),
+	// -track-seq (data→ACK sequence matching + loss classification) and
+	// -one-direction (asymmetric-tap self-pairing; implies -track-seq in
+	// the pipeline).
+	timestamps bool
+	trackSeq   bool
+	oneDir     bool
+
+	// Derived values.
+	overflow nic.OverflowPolicy
+	rollups  []tsdb.RollupTier
+	persist  tsdb.PersistOptions
+
+	// Federation.
+	mode       string
+	remoteAddr string
+	remote     fed.ProbeConfig
+	federate   fed.AggConfig
+}
+
+// parseFlags parses args into a validated options value. hostname supplies
+// the -probe-id default (injected so tests need no real hostname).
+func parseFlags(name string, args []string, hostname func() (string, error)) (*options, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", ":8080", "HTTP listen address (API + /ws)")
+		pcapPath   = fs.String("pcap", "", "replay this pcap instead of generating traffic")
+		rate       = fs.Float64("rate", 500, "synthetic flows/s")
+		duration   = fs.Duration("duration", 5*time.Minute, "synthetic capture length (virtual)")
+		queues     = fs.Int("queues", 4, "RSS queues / measurement cores")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		firewall   = fs.Bool("firewall-demo", false, "inject the nightly +4000ms firewall glitch")
+		timestamps = fs.Bool("timestamps", false, "continuous RTT from TCP timestamp echoes (rtt_stream measurement)")
+		trackSeq   = fs.Bool("track-seq", false, "continuous RTT from data→ACK sequence matching plus retrans/RTO/dupack loss classification (rtt_stream mode=seq, tcp_loss measurement)")
+		oneDir     = fs.Bool("one-direction", false, "asymmetric-tap mode: self-paired round-trip response latencies from a single visible direction (rtt_stream mode=onedir; implies -track-seq)")
+		snapshot   = fs.String("snapshot", "", "dump the TSDB as line protocol to this file on shutdown")
+		burst      = fs.Int("burst", 64, "ingest/poll burst size (frames per ring round-trip)")
+		overflow   = fs.String("overflow", "drop", "RX queue overflow policy: drop (NIC-faithful) or block (lossless source)")
+		blockMax   = fs.Duration("block-timeout", 0, "deadline for block-policy injection (0: wait indefinitely)")
+		multi      = fs.Bool("multi-consumer", false, "multi-consumer RX rings (several workers may share a queue)")
+		sinkWk     = fs.Int("sink-workers", 4, "sharded sink workers (measurements partitioned by city pair)")
+		sinkBatch  = fs.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
+		dbStripes  = fs.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
+		rollup     = fs.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
+		dataDir    = fs.String("data-dir", "", "durable TSDB storage in this directory (WAL + checkpoints, restored on start); empty = in-memory")
+		fsyncMode  = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
+		ckptEvery  = fs.Duration("checkpoint-every", time.Minute, "automatic checkpoint + WAL-truncate period with -data-dir (0 = manual only, via POST /api/checkpoint)")
+		walSegMax  = fs.Int64("wal-segment-bytes", 0, "max WAL segment file size with -data-dir (0 = 64MiB default)")
+		mode       = fs.String("mode", "run", "run (standalone), probe (stream measurements to -remote-write), aggregate (accept probes on -fed-listen, no local traffic source)")
+		remoteAddr = fs.String("remote-write", "", "aggregator address to stream measurements to (required with -mode probe)")
+		probeID    = fs.String("probe-id", "", "stable probe identity for federation (default: hostname); the aggregator tags this probe's series probe=<id>")
+		spoolDir   = fs.String("spool-dir", "", "unacked-batch spool directory for -remote-write (default: <data-dir>/spool, or ./ruru-spool in-memory)")
+		remBatch   = fs.Int("remote-batch", 256, "measurements per remote-write batch")
+		remFlush   = fs.Duration("remote-flush", 200*time.Millisecond, "max wait before a partial remote-write batch is sent")
+		fedListen  = fs.String("fed-listen", ":9100", "federation listen address with -mode aggregate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q (all configuration is flags)", fs.Arg(0))
+	}
+
+	o := &options{
+		listen: *listen, pcapPath: *pcapPath, rate: *rate, duration: *duration,
+		queues: *queues, seed: *seed, firewall: *firewall,
+		timestamps: *timestamps, trackSeq: *trackSeq, oneDir: *oneDir,
+		snapshot: *snapshot, burst: *burst, blockMax: *blockMax, multi: *multi,
+		sinkWk: *sinkWk, sinkBatch: *sinkBatch, dbStripes: *dbStripes,
+		dataDir: *dataDir, mode: *mode, remoteAddr: *remoteAddr,
+	}
+
+	var err error
+	if o.rollups, err = parseRollups(*rollup); err != nil {
+		return nil, fmt.Errorf("bad -rollup: %v", err)
+	}
+
+	var fsync tsdb.FsyncPolicy
+	switch *fsyncMode {
+	case "always":
+		fsync = tsdb.FsyncAlways
+	case "interval":
+		fsync = tsdb.FsyncInterval
+	case "off":
+		fsync = tsdb.FsyncOff
+	default:
+		return nil, fmt.Errorf("unknown -fsync %q (want always, interval or off)", *fsyncMode)
+	}
+	if *dataDir != "" {
+		o.persist = tsdb.PersistOptions{
+			Dir: *dataDir, Fsync: fsync,
+			CheckpointEvery: *ckptEvery, MaxSegmentBytes: *walSegMax,
+		}
+		if *ckptEvery == 0 {
+			o.persist.CheckpointEvery = -1 // flag 0 means "manual only"
+		}
+	}
+
+	switch *overflow {
+	case "drop":
+		o.overflow = nic.Drop
+	case "block":
+		o.overflow = nic.Block
+	default:
+		return nil, fmt.Errorf("unknown -overflow %q (want drop or block)", *overflow)
+	}
+
+	switch *mode {
+	case "run":
+	case "probe":
+		if *remoteAddr == "" {
+			return nil, fmt.Errorf("-mode probe requires -remote-write <aggregator addr>")
+		}
+	case "aggregate":
+		o.federate.Listen = *fedListen
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want run, probe or aggregate)", *mode)
+	}
+	if *remoteAddr != "" {
+		id := *probeID
+		if id == "" {
+			if id, err = hostname(); err != nil || id == "" {
+				return nil, fmt.Errorf("-probe-id required (hostname unavailable: %v)", err)
+			}
+		}
+		dir := *spoolDir
+		if dir == "" {
+			if *dataDir != "" {
+				dir = *dataDir + "/spool"
+			} else {
+				dir = "ruru-spool"
+			}
+		}
+		o.remote = fed.ProbeConfig{
+			Addr: *remoteAddr, ID: id, SpoolDir: dir,
+			BatchSize: *remBatch, FlushEvery: *remFlush,
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,165 @@
+package main
+
+// Table-driven contract for the command-line surface (TestQueryParamParsing
+// style): accepted forms, applied defaults, derived values and rejections.
+// The flag semantics asserted here are the ones documented in the README
+// flag table — change one, change both.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ruru/internal/nic"
+	"ruru/internal/tsdb"
+)
+
+func TestFlagParsing(t *testing.T) {
+	hostname := func() (string, error) { return "test-host", nil }
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the expected error; "" = success
+		check   func(t *testing.T, o *options)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.timestamps || o.trackSeq || o.oneDir {
+					t.Errorf("trackers on by default: ts=%v seq=%v onedir=%v", o.timestamps, o.trackSeq, o.oneDir)
+				}
+				if o.overflow != nic.Drop {
+					t.Errorf("default overflow = %v, want Drop", o.overflow)
+				}
+				if o.mode != "run" || o.listen != ":8080" || o.queues != 4 {
+					t.Errorf("defaults: mode=%q listen=%q queues=%d", o.mode, o.listen, o.queues)
+				}
+				if len(o.rollups) == 0 {
+					t.Error("default rollups empty, want the 1s/10s/1m ladder")
+				}
+				if o.persist.Dir != "" {
+					t.Errorf("persistence on without -data-dir: %+v", o.persist)
+				}
+			},
+		},
+		{
+			name: "timestamps tracker",
+			args: []string{"-timestamps"},
+			check: func(t *testing.T, o *options) {
+				if !o.timestamps || o.trackSeq || o.oneDir {
+					t.Errorf("ts=%v seq=%v onedir=%v, want true/false/false", o.timestamps, o.trackSeq, o.oneDir)
+				}
+			},
+		},
+		{
+			name: "seq tracker",
+			args: []string{"-track-seq"},
+			check: func(t *testing.T, o *options) {
+				if !o.trackSeq || o.oneDir || o.timestamps {
+					t.Errorf("ts=%v seq=%v onedir=%v, want false/true/false", o.timestamps, o.trackSeq, o.oneDir)
+				}
+			},
+		},
+		{
+			// -one-direction alone is valid: the pipeline implies TrackSeq
+			// from it, the flag layer passes it through unmodified.
+			name: "one-direction implies seq downstream",
+			args: []string{"-one-direction"},
+			check: func(t *testing.T, o *options) {
+				if !o.oneDir {
+					t.Error("oneDir not set")
+				}
+			},
+		},
+		{
+			name: "both trackers",
+			args: []string{"-timestamps", "-track-seq"},
+			check: func(t *testing.T, o *options) {
+				if !o.timestamps || !o.trackSeq {
+					t.Errorf("ts=%v seq=%v, want both", o.timestamps, o.trackSeq)
+				}
+			},
+		},
+		{
+			name: "overflow block",
+			args: []string{"-overflow", "block", "-block-timeout", "2s"},
+			check: func(t *testing.T, o *options) {
+				if o.overflow != nic.Block || o.blockMax != 2*time.Second {
+					t.Errorf("overflow=%v blockMax=%v", o.overflow, o.blockMax)
+				}
+			},
+		},
+		{
+			name: "custom rollups",
+			args: []string{"-rollup", "2s:1h,1m"},
+			check: func(t *testing.T, o *options) {
+				want := []tsdb.RollupTier{{Width: 2e9, Retention: 3600e9}, {Width: 60e9}}
+				if len(o.rollups) != 2 || o.rollups[0] != want[0] || o.rollups[1] != want[1] {
+					t.Errorf("rollups = %+v, want %+v", o.rollups, want)
+				}
+			},
+		},
+		{
+			name: "durable storage",
+			args: []string{"-data-dir", "/tmp/x", "-fsync", "always", "-checkpoint-every", "0"},
+			check: func(t *testing.T, o *options) {
+				if o.persist.Dir != "/tmp/x" || o.persist.Fsync != tsdb.FsyncAlways {
+					t.Errorf("persist = %+v", o.persist)
+				}
+				if o.persist.CheckpointEvery != -1 {
+					t.Errorf("checkpoint-every 0 should mean manual (-1), got %d", o.persist.CheckpointEvery)
+				}
+			},
+		},
+		{
+			name: "probe mode with explicit id",
+			args: []string{"-mode", "probe", "-remote-write", "agg:9100", "-probe-id", "akl-1"},
+			check: func(t *testing.T, o *options) {
+				if o.remote.Addr != "agg:9100" || o.remote.ID != "akl-1" || o.remote.SpoolDir != "ruru-spool" {
+					t.Errorf("remote = %+v", o.remote)
+				}
+			},
+		},
+		{
+			name: "probe id defaults to hostname, spool under data-dir",
+			args: []string{"-mode", "probe", "-remote-write", "agg:9100", "-data-dir", "/tmp/x"},
+			check: func(t *testing.T, o *options) {
+				if o.remote.ID != "test-host" || o.remote.SpoolDir != "/tmp/x/spool" {
+					t.Errorf("remote = %+v", o.remote)
+				}
+			},
+		},
+		{
+			name: "aggregate mode",
+			args: []string{"-mode", "aggregate", "-fed-listen", ":9200"},
+			check: func(t *testing.T, o *options) {
+				if o.federate.Listen != ":9200" {
+					t.Errorf("federate = %+v", o.federate)
+				}
+			},
+		},
+		{name: "unknown flag", args: []string{"-no-such-flag"}, wantErr: "not defined"},
+		{name: "bad overflow", args: []string{"-overflow", "spill"}, wantErr: "unknown -overflow"},
+		{name: "bad fsync", args: []string{"-fsync", "sometimes"}, wantErr: "unknown -fsync"},
+		{name: "bad mode", args: []string{"-mode", "relay"}, wantErr: "unknown -mode"},
+		{name: "bad rollup", args: []string{"-rollup", "nope"}, wantErr: "bad -rollup"},
+		{name: "probe without remote-write", args: []string{"-mode", "probe"}, wantErr: "-mode probe requires"},
+		{name: "positional args rejected", args: []string{"trailing"}, wantErr: "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseFlags("ruru-test", tc.args, hostname)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseFlags(%v): %v", tc.args, err)
+			}
+			tc.check(t, o)
+		})
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"strings"
 	"time"
 
-	"ruru/internal/fed"
 	"ruru/internal/gen"
 	"ruru/internal/geo"
 	"ruru/internal/nic"
@@ -41,128 +40,35 @@ import (
 )
 
 func main() {
-	var (
-		listen     = flag.String("listen", ":8080", "HTTP listen address (API + /ws)")
-		pcapPath   = flag.String("pcap", "", "replay this pcap instead of generating traffic")
-		rate       = flag.Float64("rate", 500, "synthetic flows/s")
-		duration   = flag.Duration("duration", 5*time.Minute, "synthetic capture length (virtual)")
-		queues     = flag.Int("queues", 4, "RSS queues / measurement cores")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		firewall   = flag.Bool("firewall-demo", false, "inject the nightly +4000ms firewall glitch")
-		timestamps = flag.Bool("timestamps", false, "continuous RTT from TCP timestamp echoes (rtt_stream measurement)")
-		snapshot   = flag.String("snapshot", "", "dump the TSDB as line protocol to this file on shutdown")
-		burst      = flag.Int("burst", 64, "ingest/poll burst size (frames per ring round-trip)")
-		overflow   = flag.String("overflow", "drop", "RX queue overflow policy: drop (NIC-faithful) or block (lossless source)")
-		blockMax   = flag.Duration("block-timeout", 0, "deadline for block-policy injection (0: wait indefinitely)")
-		multi      = flag.Bool("multi-consumer", false, "multi-consumer RX rings (several workers may share a queue)")
-		sinkWk     = flag.Int("sink-workers", 4, "sharded sink workers (measurements partitioned by city pair)")
-		sinkBatch  = flag.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
-		dbStripes  = flag.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
-		rollup     = flag.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
-		dataDir    = flag.String("data-dir", "", "durable TSDB storage in this directory (WAL + checkpoints, restored on start); empty = in-memory")
-		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
-		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "automatic checkpoint + WAL-truncate period with -data-dir (0 = manual only, via POST /api/checkpoint)")
-		walSegMax  = flag.Int64("wal-segment-bytes", 0, "max WAL segment file size with -data-dir (0 = 64MiB default)")
-		mode       = flag.String("mode", "run", "run (standalone), probe (stream measurements to -remote-write), aggregate (accept probes on -fed-listen, no local traffic source)")
-		remoteAddr = flag.String("remote-write", "", "aggregator address to stream measurements to (required with -mode probe)")
-		probeID    = flag.String("probe-id", "", "stable probe identity for federation (default: hostname); the aggregator tags this probe's series probe=<id>")
-		spoolDir   = flag.String("spool-dir", "", "unacked-batch spool directory for -remote-write (default: <data-dir>/spool, or ./ruru-spool in-memory)")
-		remBatch   = flag.Int("remote-batch", 256, "measurements per remote-write batch")
-		remFlush   = flag.Duration("remote-flush", 200*time.Millisecond, "max wait before a partial remote-write batch is sent")
-		fedListen  = flag.String("fed-listen", ":9100", "federation listen address with -mode aggregate")
-	)
-	flag.Parse()
-
-	rollups, err := parseRollups(*rollup)
+	opt, err := parseFlags("ruru", os.Args[1:], os.Hostname)
 	if err != nil {
-		log.Fatalf("bad -rollup: %v", err)
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatalf("ruru: %v", err)
 	}
 
-	var fsync tsdb.FsyncPolicy
-	switch *fsyncMode {
-	case "always":
-		fsync = tsdb.FsyncAlways
-	case "interval":
-		fsync = tsdb.FsyncInterval
-	case "off":
-		fsync = tsdb.FsyncOff
-	default:
-		log.Fatalf("unknown -fsync %q (want always, interval or off)", *fsyncMode)
-	}
-	persist := tsdb.PersistOptions{}
-	if *dataDir != "" {
-		persist = tsdb.PersistOptions{
-			Dir: *dataDir, Fsync: fsync,
-			CheckpointEvery: *ckptEvery, MaxSegmentBytes: *walSegMax,
-		}
-		if *ckptEvery == 0 {
-			persist.CheckpointEvery = -1 // flag 0 means "manual only"
-		}
-	}
-
-	var policy nic.OverflowPolicy
-	switch *overflow {
-	case "drop":
-		policy = nic.Drop
-	case "block":
-		policy = nic.Block
-	default:
-		log.Fatalf("unknown -overflow %q (want drop or block)", *overflow)
-	}
-
-	var remote fed.ProbeConfig
-	var federate fed.AggConfig
-	switch *mode {
-	case "run":
-	case "probe":
-		if *remoteAddr == "" {
-			log.Fatalf("-mode probe requires -remote-write <aggregator addr>")
-		}
-	case "aggregate":
-		federate.Listen = *fedListen
-	default:
-		log.Fatalf("unknown -mode %q (want run, probe or aggregate)", *mode)
-	}
-	if *remoteAddr != "" {
-		id := *probeID
-		if id == "" {
-			if id, err = os.Hostname(); err != nil || id == "" {
-				log.Fatalf("-probe-id required (hostname unavailable: %v)", err)
-			}
-		}
-		dir := *spoolDir
-		if dir == "" {
-			if *dataDir != "" {
-				dir = *dataDir + "/spool"
-			} else {
-				dir = "ruru-spool"
-			}
-		}
-		remote = fed.ProbeConfig{
-			Addr: *remoteAddr, ID: id, SpoolDir: dir,
-			BatchSize: *remBatch, FlushEvery: *remFlush,
-		}
-	}
-
-	world, err := geo.NewWorld(geo.WorldOptions{Seed: *seed, MislabelFraction: 0.02})
+	world, err := geo.NewWorld(geo.WorldOptions{Seed: opt.seed, MislabelFraction: 0.02})
 	if err != nil {
 		log.Fatalf("building world: %v", err)
 	}
 	p, err := ruru.New(ruru.Config{
 		GeoDB:           world.DB(),
-		Queues:          *queues,
-		Burst:           *burst,
-		Overflow:        policy,
-		BlockTimeout:    *blockMax,
-		MultiConsumer:   *multi,
-		TrackTimestamps: *timestamps,
-		SinkWorkers:     *sinkWk,
-		SinkBatch:       *sinkBatch,
-		DBStripes:       *dbStripes,
-		Rollups:         rollups,
-		Persist:         persist,
-		RemoteWrite:     remote,
-		Federate:        federate,
+		Queues:          opt.queues,
+		Burst:           opt.burst,
+		Overflow:        opt.overflow,
+		BlockTimeout:    opt.blockMax,
+		MultiConsumer:   opt.multi,
+		TrackTimestamps: opt.timestamps,
+		TrackSeq:        opt.trackSeq,
+		OneDirection:    opt.oneDir,
+		SinkWorkers:     opt.sinkWk,
+		SinkBatch:       opt.sinkBatch,
+		DBStripes:       opt.dbStripes,
+		Rollups:         opt.rollups,
+		Persist:         opt.persist,
+		RemoteWrite:     opt.remote,
+		Federate:        opt.federate,
 	})
 	if err != nil {
 		log.Fatalf("assembling pipeline: %v", err)
@@ -172,18 +78,18 @@ func main() {
 			log.Printf("ruru: close: %v", err)
 		}
 	}()
-	if *dataDir != "" {
+	if opt.dataDir != "" {
 		ps := p.DB.PersistStats()
 		torn := ""
 		if ps.ReplayTornTail {
 			torn = " (torn WAL tail discarded — expected after a crash)"
 		}
 		log.Printf("ruru: durable storage in %s (fsync=%s): restored %d points from checkpoint, replayed %d from WAL%s",
-			*dataDir, ps.Fsync, ps.RestoredPoints, ps.WALReplayedPoints, torn)
+			opt.dataDir, ps.Fsync, ps.RestoredPoints, ps.WALReplayedPoints, torn)
 	}
-	if *snapshot != "" {
+	if opt.snapshot != "" {
 		defer func() {
-			f, err := os.Create(*snapshot)
+			f, err := os.Create(opt.snapshot)
 			if err != nil {
 				log.Printf("snapshot: %v", err)
 				return
@@ -199,19 +105,19 @@ func main() {
 				err = cerr
 			}
 			if err != nil {
-				log.Printf("snapshot: %s may be incomplete: %v", *snapshot, err)
+				log.Printf("snapshot: %s may be incomplete: %v", opt.snapshot, err)
 				return
 			}
-			log.Printf("ruru: snapshot of %d points written to %s", n, *snapshot)
+			log.Printf("ruru: snapshot of %d points written to %s", n, opt.snapshot)
 		}()
 	}
 
 	if p.Agg != nil {
 		log.Printf("ruru: federation aggregator on %s (probes tagged %q)", p.Agg.Addr(), "probe")
 	}
-	if *remoteAddr != "" {
+	if opt.remoteAddr != "" {
 		log.Printf("ruru: remote-writing to %s as probe %q (spool %s)",
-			remote.Addr, remote.ID, remote.SpoolDir)
+			opt.remote.Addr, opt.remote.ID, opt.remote.SpoolDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -233,9 +139,9 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *listen, Handler: web.NewServer(p)}
+	srv := &http.Server{Addr: opt.listen, Handler: web.NewServer(p)}
 	go func() {
-		log.Printf("ruru: serving API on %s (endpoints: /api/stats /api/query /api/arcs /api/anomalies /ws)", *listen)
+		log.Printf("ruru: serving API on %s (endpoints: /api/stats /api/query /api/arcs /api/anomalies /ws)", opt.listen)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			log.Fatalf("http: %v", err)
 		}
@@ -275,21 +181,21 @@ func main() {
 		}
 	}()
 
-	if *mode == "aggregate" {
+	if opt.mode == "aggregate" {
 		// No local traffic source: measurements arrive from remote probes.
-	} else if *pcapPath != "" {
-		if err := replayPcap(ctx, *pcapPath, p.Port, *burst); err != nil {
+	} else if opt.pcapPath != "" {
+		if err := replayPcap(ctx, opt.pcapPath, p.Port, opt.burst); err != nil {
 			log.Fatalf("replay: %v", err)
 		}
 	} else {
 		cfg := gen.Config{
-			Seed: *seed, World: world,
-			FlowRate: *rate, Duration: duration.Nanoseconds(),
-			DataSegments: 2, UDPRate: *rate / 2, MidstreamRate: *rate / 20,
+			Seed: opt.seed, World: world,
+			FlowRate: opt.rate, Duration: opt.duration.Nanoseconds(),
+			DataSegments: 2, UDPRate: opt.rate / 2, MidstreamRate: opt.rate / 20,
 			SYNLoss: 0.01, SYNACKLoss: 0.01, IPv6Fraction: 0.15,
-			EmitTCPTimestamps: *timestamps,
+			EmitTCPTimestamps: opt.timestamps,
 		}
-		if *firewall {
+		if opt.firewall {
 			cfg.FirewallWindows = []gen.Window{{
 				Every: 60e9, Offset: 30e9, Length: 500e6, Extra: 4000e6,
 			}}

@@ -62,6 +62,8 @@ func Specs() []Spec {
 	return []Spec{
 		{Name: "ingest/burst", F: benchIngestBurst},
 		{Name: "process/handshake", F: benchHandshake},
+		{Name: "core/tsrtt", F: benchTSRTT},
+		{Name: "core/seq-rtt", F: benchSeqRTT},
 		{Name: "sink/consume", F: benchSinkConsume},
 		{Name: "db/write-batch", F: benchDBWriteBatch},
 		{Name: "db/write-batch-ref", F: benchDBWriteBatchRef},
@@ -202,6 +204,86 @@ func benchHandshake(b *testing.B) {
 		hash := h.HashTuple(sum.Src(), sum.Dst(), sum.TCP.SrcPort, sum.TCP.DstPort)
 		table.Process(&sum, tp.TS, hash, &m)
 	}
+}
+
+// benchSummary builds a parsed TCP summary directly (the trackers' input —
+// parse cost is measured by process/handshake, these entries isolate the
+// per-packet tracker work the continuous-RTT path adds).
+func benchSummary(hostA, hostB byte, sp, dp uint16, seq, ack uint32, payload []byte) (*pkt.Summary, uint32) {
+	s := &pkt.Summary{}
+	s.IP4.Src = netip.AddrFrom4([4]byte{10, 0, 0, hostA})
+	s.IP4.Dst = netip.AddrFrom4([4]byte{192, 0, 2, hostB})
+	s.Decoded = pkt.LayerEthernet | pkt.LayerIPv4 | pkt.LayerTCP
+	s.TCP = pkt.TCP{SrcPort: sp, DstPort: dp, Flags: pkt.TCPAck, Seq: seq, Ack: ack}
+	s.Payload = payload
+	return s, rss.NewSymmetric().HashTuple(s.IP4.Src, s.IP4.Dst, sp, dp)
+}
+
+// benchTSRTT: the timestamp tracker's per-packet cost — a TSval insert and
+// its echo match per op, alternating over 256 live flows (tsrtt_test.go
+// BenchmarkTSTrackerProcess, multi-flow).
+func benchTSRTT(b *testing.B) {
+	const flows = 256
+	tr := core.NewTSTracker(core.TSConfig{Capacity: 1 << 15})
+	type flow struct {
+		data, echo *pkt.Summary
+		hash       uint32
+	}
+	var fl [flows]flow
+	var opt [pkt.TimestampOptionLen]byte
+	for i := range fl {
+		d, h := benchSummary(byte(i), 1, uint16(5000+i), 443, 1000, 1, nil)
+		d.TCP.Options = append([]byte(nil), pkt.PutTimestampOption(opt[:], 100, 50)...)
+		e, _ := benchSummary(1, byte(i), 443, uint16(5000+i), 1, 1000, nil)
+		e.TCP.Options = append([]byte(nil), pkt.PutTimestampOption(opt[:], 900, 100)...)
+		fl[i] = flow{data: d, echo: e, hash: h}
+	}
+	var sample core.TSSample
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		f := &fl[i%flows]
+		ts += 2
+		tr.Process(f.data, ts, f.hash, &sample)
+		tr.Process(f.echo, ts+1, f.hash, &sample)
+	}
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// benchSeqRTT: the sequence tracker's per-packet cost — a data edge insert
+// and its covering ACK per op (one RTT sample), alternating over 256 live
+// flows; the hot path is //ruru:noalloc and the trajectory pins
+// allocs_per_op at 0 (seqrtt_test.go BenchmarkSeqTrackerProcess,
+// multi-flow).
+func benchSeqRTT(b *testing.B) {
+	const flows = 256
+	tr := core.NewSeqTracker(core.SeqConfig{Capacity: 1 << 15})
+	type flow struct {
+		data, ackp *pkt.Summary
+		hash       uint32
+	}
+	var fl [flows]flow
+	payload := make([]byte, 100)
+	for i := range fl {
+		d, h := benchSummary(byte(i), 1, uint16(5000+i), 443, 1000, 1, payload)
+		a, _ := benchSummary(1, byte(i), 443, uint16(5000+i), 1, 1100, nil)
+		fl[i] = flow{data: d, ackp: a, hash: h}
+	}
+	var sample core.SeqSample
+	var loss core.LossEvent
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		f := &fl[i%flows]
+		ts += 2
+		f.data.TCP.Seq += 100
+		f.ackp.TCP.Ack += 100
+		tr.Process(f.data, ts, f.hash, &sample, &loss)
+		tr.Process(f.ackp, ts+1, f.hash, &sample, &loss)
+	}
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "pps")
 }
 
 // benchSinkConsume: enriched topic → sharded sink workers → batched

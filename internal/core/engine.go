@@ -38,6 +38,14 @@ type TSSinkFunc func(s *TSSample)
 // EmitTS implements TSSink.
 func (f TSSinkFunc) EmitTS(s *TSSample) { f(s) }
 
+// SeqSink receives sequence-matched RTT samples and loss/quality events
+// when seq tracking is enabled. Same contract as Sink: called from worker
+// goroutines, must not block.
+type SeqSink interface {
+	EmitSeq(s *SeqSample)
+	EmitLoss(ev *LossEvent)
+}
+
 // PollConfig tunes the adaptive idle ladder a worker descends when polls
 // come back empty: busy-spin first (a hot queue usually refills within
 // nanoseconds), then cooperative yields, then exponentially growing sleeps.
@@ -117,6 +125,15 @@ type EngineConfig struct {
 	// table) and receives the samples. TSTable configures the trackers.
 	TSSink  TSSink
 	TSTable TSConfig
+
+	// SeqSink, when non-nil, enables sequence-matched RTT and
+	// retransmit/RTO/dupack loss classification (a per-queue SeqTracker
+	// beside each handshake table) and receives samples and loss events.
+	// SeqTable configures the trackers; when TSSink is also set and
+	// SeqTable.OneDirection is false, SeqTable.DeferTS is forced on so a
+	// timestamp-bearing flow is sampled by exactly one tracker.
+	SeqSink  SeqSink
+	SeqTable SeqConfig
 }
 
 // Engine runs one measurement worker per RSS queue (the paper's "DPDK
@@ -130,13 +147,16 @@ type Engine struct {
 	running bool
 }
 
-// statsCell holds the stats snapshot a worker publishes once per burst, so
-// monitors can read live table counters without racing the single-writer
-// hot path. The mutex is uncontended in steady state and the cost is
-// amortized over a whole burst.
+// statsCell holds the stats snapshots a worker publishes once per burst,
+// so monitors can read live table counters without racing the
+// single-writer hot path. The mutex is uncontended in steady state and the
+// cost is amortized over a whole burst. The tracker snapshots stay zero
+// when the corresponding sink is not configured.
 type statsCell struct {
 	mu   sync.Mutex
 	snap TableStats
+	ts   TSStats
+	seq  SeqStats
 }
 
 // NewEngine validates cfg and builds the per-queue state.
@@ -191,6 +211,51 @@ func (e *Engine) Stats() TableStats {
 	return total
 }
 
+// TSStats aggregates the per-queue timestamp-tracker stats. Zero when
+// EngineConfig.TSSink is unset. Same snapshot semantics as Stats.
+func (e *Engine) TSStats() TSStats {
+	var total TSStats
+	for q := range e.snaps {
+		cell := &e.snaps[q]
+		cell.mu.Lock()
+		s := cell.ts
+		cell.mu.Unlock()
+		total.Packets += s.Packets
+		total.NoTS += s.NoTS
+		total.Inserted += s.Inserted
+		total.Samples += s.Samples
+		total.Unmatched += s.Unmatched
+		total.Expired += s.Expired
+		total.TableFull += s.TableFull
+		total.Occupancy += s.Occupancy
+	}
+	return total
+}
+
+// SeqStats aggregates the per-queue seq-tracker stats. Zero when
+// EngineConfig.SeqSink is unset. Same snapshot semantics as Stats.
+func (e *Engine) SeqStats() SeqStats {
+	var total SeqStats
+	for q := range e.snaps {
+		cell := &e.snaps[q]
+		cell.mu.Lock()
+		s := cell.seq
+		cell.mu.Unlock()
+		total.Packets += s.Packets
+		total.Inserted += s.Inserted
+		total.Samples += s.Samples
+		total.OneDirSamples += s.OneDirSamples
+		total.Unmatched += s.Unmatched
+		total.Retrans += s.Retrans
+		total.RTO += s.RTO
+		total.DupACK += s.DupACK
+		total.Expired += s.Expired
+		total.TableFull += s.TableFull
+		total.Occupancy += s.Occupancy
+	}
+	return total
+}
+
 // Run polls every queue until ctx is cancelled. It blocks; cancel the
 // context to stop. Packets still queued at cancellation are drained.
 func (e *Engine) Run(ctx context.Context) error {
@@ -220,21 +285,32 @@ func (e *Engine) Run(ctx context.Context) error {
 }
 
 // runQueue is the per-core poll loop: RxBurst → parse → handshake table
-// (and, when enabled, the timestamp tracker).
+// (and, when enabled, the timestamp and sequence trackers).
 func (e *Engine) runQueue(ctx context.Context, q int) {
 	var (
 		parser  pkt.Parser
 		sum     pkt.Summary
 		m       Measurement
 		ts      TSSample
+		ss      SeqSample
+		lev     LossEvent
 		table   = e.tables[q]
 		tracker *TSTracker
+		seqTrk  *SeqTracker
 		bufs    = make([]*nic.Buf, e.cfg.Burst)
 	)
 	if e.cfg.TSSink != nil {
 		tc := e.cfg.TSTable
 		tc.Queue = q
 		tracker = NewTSTracker(tc)
+	}
+	if e.cfg.SeqSink != nil {
+		sc := e.cfg.SeqTable
+		sc.Queue = q
+		if tracker != nil && !sc.OneDirection {
+			sc.DeferTS = true
+		}
+		seqTrk = NewSeqTracker(sc)
 	}
 	processBurst := func(n int) {
 		for i := 0; i < n; i++ {
@@ -246,17 +322,33 @@ func (e *Engine) runQueue(ctx context.Context, q int) {
 				if tracker != nil && tracker.Process(&sum, b.Timestamp, b.RSSHash, &ts) {
 					e.cfg.TSSink.EmitTS(&ts)
 				}
+				if seqTrk != nil {
+					gotSample, gotLoss := seqTrk.Process(&sum, b.Timestamp, b.RSSHash, &ss, &lev)
+					if gotSample {
+						e.cfg.SeqSink.EmitSeq(&ss)
+					}
+					if gotLoss {
+						e.cfg.SeqSink.EmitLoss(&lev)
+					}
+				}
 			}
 			b.Free()
 		}
 	}
-	// publish copies the table counters into this queue's monitoring cell:
-	// one uncontended lock per burst instead of atomics per packet.
+	// publish copies the table and tracker counters into this queue's
+	// monitoring cell: one uncontended lock per burst instead of atomics
+	// per packet.
 	publish := func() {
 		snap := table.Stats() // we are the table's single writer
 		cell := &e.snaps[q]
 		cell.mu.Lock()
 		cell.snap = snap
+		if tracker != nil {
+			cell.ts = tracker.Stats()
+		}
+		if seqTrk != nil {
+			cell.seq = seqTrk.Stats()
+		}
 		cell.mu.Unlock()
 	}
 	defer publish()

@@ -14,6 +14,11 @@ package lint
 //   - fed: Aggregator.mu, aggProbe.mu and Probe.mu have no edges at all —
 //     no two of them may ever nest (the PR-5 Stats fix made this an
 //     explicit invariant).
+//   - core: statsCell.mu is strictly leaf (ARCHITECTURE.md "Continuous
+//     RTT": the queue worker owns its trackers lock-free; the cell mutex
+//     only guards the per-burst snapshot publish/read hand-off and nothing
+//     may be acquired under it — in particular no DB write, since sinks
+//     run outside the cell).
 func RepoLockOrder() *LockOrderSpec {
 	return &LockOrderSpec{
 		Classes: []LockClass{
@@ -26,6 +31,7 @@ func RepoLockOrder() *LockOrderSpec {
 			{ID: "fed.aggMu", Type: "ruru/internal/fed.Aggregator", Field: "mu"},
 			{ID: "fed.aggProbeMu", Type: "ruru/internal/fed.aggProbe", Field: "mu"},
 			{ID: "fed.probeMu", Type: "ruru/internal/fed.Probe", Field: "mu"},
+			{ID: "core.statsCellMu", Type: "ruru/internal/core.statsCell", Field: "mu"},
 		},
 		Order: [][2]string{
 			{"tsdb.ckptMu", "tsdb.commitMu"},

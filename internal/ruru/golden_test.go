@@ -8,7 +8,15 @@ package ruru
 // TSDB) and compares bit-exact, which pins the end-to-end measurement
 // semantics: VLAN/QinQ decapsulation, IPv6, SYN|RST handling, retransmit
 // timestamping ("measure from the first SYN"), midstream/orphan
-// classification, and the Completed == DBPoints + losses ledger.
+// classification, and the completed == stored + losses ledger.
+//
+// The continuous-RTT scenarios (seq_rtt, retrans_rto, onedir,
+// ts_seq_mixed) extend the same discipline to the PR-8 trackers: the
+// oracle carries the tracker configuration plus every expected rtt_stream
+// sample and tcp_loss event, and the test reads them back out of a TSDB
+// snapshot — pinning sequence-matched sampling, Karn's rule, fast-retrans
+// vs RTO classification, asymmetric-tap (onedir) self-pairing, and the
+// no-double-counting contract when both trackers share a pipeline.
 //
 // The oracles are computed from the capture SCRIPTS (the timestamps the
 // frames were built with), never from pipeline output — a regression in
@@ -21,9 +29,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,7 +41,30 @@ import (
 	"ruru/internal/nic"
 	"ruru/internal/pcap"
 	"ruru/internal/pkt"
+	"ruru/internal/tsdb"
 )
+
+// goldenRTT is one expected continuous-RTT sample as stored in the TSDB's
+// "rtt_stream" measurement: the measured side of the path (the timestamp
+// echoer, the ACK sender, or — mode=onedir — the invisible peer) fills the
+// echoer_city tag for every mode. RTTs are scripted in whole milliseconds
+// so the ns→ms float conversion is exact and the comparison can be
+// bit-exact.
+type goldenRTT struct {
+	Mode       string  `json:"mode"`
+	EchoerCity string  `json:"echoer_city"`
+	PeerCity   string  `json:"peer_city"`
+	RTTMs      float64 `json:"rtt_ms"`
+	Time       int64   `json:"time"`
+}
+
+// goldenLoss is one expected loss/quality event as stored in "tcp_loss".
+type goldenLoss struct {
+	SrcCity string `json:"src_city"`
+	DstCity string `json:"dst_city"`
+	Kind    string `json:"kind"`
+	Time    int64  `json:"time"`
+}
 
 // goldenFlow is one expected completed measurement.
 type goldenFlow struct {
@@ -68,6 +101,25 @@ type goldenOracle struct {
 	InvalidACKs   uint64 `json:"invalid_acks"`
 	// Flows are the expected measurements, sorted by (Time, SrcCity).
 	Flows []goldenFlow `json:"flows"`
+
+	// Continuous-RTT scenario knobs and expectations. TrackSeq/TrackTS/
+	// OneDirection configure the replay pipeline (the oracle, not the
+	// test code, decides how its capture must be measured); zero values
+	// keep the original handshake-only replay. The sample and loss lists
+	// are asserted bit-exact against a TSDB snapshot.
+	TrackSeq     bool `json:"track_seq,omitempty"`
+	TrackTS      bool `json:"track_ts,omitempty"`
+	OneDirection bool `json:"one_direction,omitempty"`
+	// Tracker counters, oracle-exact.
+	TSSamples  uint64 `json:"ts_samples,omitempty"`
+	SeqSamples uint64 `json:"seq_samples,omitempty"`
+	Retrans    uint64 `json:"retrans,omitempty"`
+	RTO        uint64 `json:"rto,omitempty"`
+	DupACK     uint64 `json:"dupack,omitempty"`
+	// RTTSamples sorted by (Time, EchoerCity, Mode); LossEvents by
+	// (Time, SrcCity, Kind).
+	RTTSamples []goldenRTT  `json:"rtt_samples,omitempty"`
+	LossEvents []goldenLoss `json:"loss_events,omitempty"`
 }
 
 type goldenCapture struct {
@@ -199,6 +251,57 @@ func (b *capB) handshake(t0 int64, srcCity, dstCity int, host uint32, cport, spo
 	}
 }
 
+// seg writes one mid-stream segment of an established flow (the seq/ts
+// trackers need no handshake) and accounts the handshake engine's view of
+// it: every ACK-flagged, non-SYN, non-RST frame of an untracked flow is a
+// midstream ACK. tsval/tsecr, when either is non-zero, attach a TCP
+// timestamp option.
+func (b *capB) seg(ts int64, src, dst netip.Addr, sp, dp uint16, flags uint8, seq, ack uint32, payload int, tsval, tsecr uint32) {
+	spec := pkt.TCPFrameSpec{Src: src, Dst: dst, SrcPort: sp, DstPort: dp,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535}
+	if payload > 0 {
+		spec.Payload = bytes.Repeat([]byte{0x5a}, payload)
+	}
+	if tsval != 0 || tsecr != 0 {
+		var opt [pkt.TimestampOptionLen]byte
+		spec.Options = append([]byte(nil), pkt.PutTimestampOption(opt[:], tsval, tsecr)...)
+	}
+	b.tcp(ts, false, spec)
+	if flags&pkt.TCPRst == 0 && flags&pkt.TCPSyn == 0 && flags&pkt.TCPAck != 0 {
+		b.o.MidstreamACKs++
+	}
+}
+
+// expectRTT appends one hand-computed rtt_stream expectation.
+func (b *capB) expectRTT(mode string, echoerCity, peerCity int, rttNs, at int64) {
+	e, p := &b.world.Cities[echoerCity], &b.world.Cities[peerCity]
+	b.o.RTTSamples = append(b.o.RTTSamples, goldenRTT{
+		Mode: mode, EchoerCity: e.Name, PeerCity: p.Name,
+		RTTMs: float64(rttNs) / 1e6, Time: at,
+	})
+	if mode == "ts" {
+		b.o.TSSamples++
+	} else {
+		b.o.SeqSamples++
+	}
+}
+
+// expectLoss appends one hand-computed tcp_loss expectation.
+func (b *capB) expectLoss(kind string, srcCity, dstCity int, at int64) {
+	s, d := &b.world.Cities[srcCity], &b.world.Cities[dstCity]
+	b.o.LossEvents = append(b.o.LossEvents, goldenLoss{
+		SrcCity: s.Name, DstCity: d.Name, Kind: kind, Time: at,
+	})
+	switch kind {
+	case "retrans":
+		b.o.Retrans++
+	case "rto":
+		b.o.RTO++
+	default:
+		b.o.DupACK++
+	}
+}
+
 // orphanSYNACK scripts a SYN-ACK with no pending SYN (asymmetric route).
 func (b *capB) orphanSYNACK(ts int64, srcCity, dstCity int, host uint32) {
 	b.tcp(ts, false, pkt.TCPFrameSpec{
@@ -220,7 +323,36 @@ func (b *capB) finish(name string) goldenCapture {
 		}
 		return o.Flows[i].SrcCity < o.Flows[j].SrcCity
 	})
+	sortGoldenRTT(o.RTTSamples)
+	sortGoldenLoss(o.LossEvents)
 	return goldenCapture{name: name, pcap: append([]byte(nil), b.buf.Bytes()...), oracle: o}
+}
+
+// sortGoldenRTT orders samples by (Time, EchoerCity, Mode) — the shared
+// order of oracle and replay output.
+func sortGoldenRTT(s []goldenRTT) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Time != s[j].Time {
+			return s[i].Time < s[j].Time
+		}
+		if s[i].EchoerCity != s[j].EchoerCity {
+			return s[i].EchoerCity < s[j].EchoerCity
+		}
+		return s[i].Mode < s[j].Mode
+	})
+}
+
+// sortGoldenLoss orders loss events by (Time, SrcCity, Kind).
+func sortGoldenLoss(s []goldenLoss) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Time != s[j].Time {
+			return s[i].Time < s[j].Time
+		}
+		if s[i].SrcCity != s[j].SrcCity {
+			return s[i].SrcCity < s[j].SrcCity
+		}
+		return s[i].Kind < s[j].Kind
+	})
 }
 
 // goldenWorld is the deterministic geo mapping the captures are scripted
@@ -302,6 +434,125 @@ func goldenCaptures(tb testing.TB) []goldenCapture {
 	full.oracle.Flows = kept
 	caps = append(caps, full)
 
+	// --- Continuous-RTT scenarios (PR 8). Mid-stream flows only: the seq
+	// tracker needs no handshake, and every ACK-flagged frame lands in the
+	// engine's midstream counter (accounted by seg). All RTTs are whole
+	// milliseconds so stored rtt_ms values compare exactly.
+
+	// seq_rtt: two established flows WITHOUT the TCP timestamp option —
+	// invisible to the timestamp tracker — measured from data→ACK
+	// sequence matching alone. Covers both directions of one flow, a
+	// cumulative ACK carried on a FIN, and a second concurrent flow.
+	b = newCapB(tb, w)
+	b.o.TrackSeq = true
+	{
+		c, s := w.Addr(0, 0, 200), w.Addr(1, 0, 1200) // Auckland ↔ Los Angeles
+		b.seg(0, c, s, 40100, 443, pkt.TCPAck, 1000, 5000, 120, 0, 0)
+		b.seg(30e6, s, c, 443, 40100, pkt.TCPAck, 5000, 1120, 0, 0, 0)
+		b.expectRTT("seq", 1, 0, 30e6, 30e6) // ACK covers [1000,1120): LA's side
+		b.seg(35e6, s, c, 443, 40100, pkt.TCPAck, 5000, 1120, 400, 0, 0)
+		b.seg(47e6, c, s, 40100, 443, pkt.TCPAck, 1120, 5400, 0, 0, 0)
+		b.expectRTT("seq", 0, 1, 12e6, 47e6) // ACK covers [5000,5400): Auckland's side
+		b.seg(50e6, c, s, 40100, 443, pkt.TCPAck, 1120, 5400, 80, 0, 0)
+		b.seg(75e6, s, c, 443, 40100, pkt.TCPFin|pkt.TCPAck, 5400, 1200, 0, 0, 0)
+		b.expectRTT("seq", 1, 0, 25e6, 75e6) // FIN's ACK covers [1120,1200)
+
+		c2, s2 := w.Addr(4, 0, 210), w.Addr(12, 0, 1210) // Sydney ↔ Tokyo
+		b.seg(5e6, c2, s2, 40110, 443, pkt.TCPAck, 9000, 100, 50, 0, 0)
+		b.seg(45e6, s2, c2, 443, 40110, pkt.TCPAck, 100, 9050, 0, 0, 0)
+		b.expectRTT("seq", 12, 4, 40e6, 45e6)
+	}
+	caps = append(caps, b.finish("seq_rtt"))
+
+	// retrans_rto: the loss-classification scenario. A healthy sample,
+	// then a hole at 2100: three duplicate ACKs, a fast retransmit 35ms
+	// after the original (< the 200ms RTO threshold), recovery — and a
+	// second hole repaired only after 300ms (> threshold: RTO class),
+	// whose ACK must NOT become a sample (Karn's rule, pinned here).
+	b = newCapB(tb, w)
+	b.o.TrackSeq = true
+	{
+		c, s := w.Addr(0, 0, 220), w.Addr(4, 0, 1220) // Auckland ↔ Sydney
+		b.seg(0, c, s, 40200, 443, pkt.TCPAck, 2000, 7000, 100, 0, 0)
+		b.seg(20e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2100, 0, 0, 0)
+		b.expectRTT("seq", 4, 0, 20e6, 20e6)
+		b.seg(25e6, c, s, 40200, 443, pkt.TCPAck, 2100, 7000, 100, 0, 0)
+		b.seg(30e6, c, s, 40200, 443, pkt.TCPAck, 2200, 7000, 100, 0, 0)
+		// [2100,2200) is lost beyond the tap: Sydney repeats ack 2100.
+		b.seg(45e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2100, 0, 0, 0)
+		b.expectLoss("dupack", 4, 0, 45e6)
+		b.seg(50e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2100, 0, 0, 0)
+		b.expectLoss("dupack", 4, 0, 50e6)
+		b.seg(55e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2100, 0, 0, 0)
+		b.expectLoss("dupack", 4, 0, 55e6)
+		// Fast retransmit of [2100,2200): 35ms after the original.
+		b.seg(60e6, c, s, 40200, 443, pkt.TCPAck, 2100, 7000, 100, 0, 0)
+		b.expectLoss("retrans", 0, 4, 60e6)
+		// Recovery ACK covers through 2300; the re-sent range is
+		// disqualified, the sample comes from [2200,2300) sent at 30ms.
+		b.seg(80e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2300, 0, 0, 0)
+		b.expectRTT("seq", 4, 0, 50e6, 80e6)
+		// RTO-class hole: [2300,2400) re-sent 300ms later.
+		b.seg(100e6, c, s, 40200, 443, pkt.TCPAck, 2300, 7000, 100, 0, 0)
+		b.seg(400e6, c, s, 40200, 443, pkt.TCPAck, 2300, 7000, 100, 0, 0)
+		b.expectLoss("rto", 0, 4, 400e6)
+		// Karn: the ACK of the re-sent range yields NO sample.
+		b.seg(430e6, s, c, 443, 40200, pkt.TCPAck, 7000, 2400, 0, 0, 0)
+	}
+	caps = append(caps, b.finish("retrans_rto"))
+
+	// onedir: an asymmetric tap — only the client→server direction of
+	// each flow is on the mirrored link. Samples are round-trip response
+	// latencies self-paired within the visible direction: closed by the
+	// sender's cumulative ACK advancing (first flow) or, where the ACK
+	// number is useless, by its echoed TSecr advancing (second flow).
+	b = newCapB(tb, w)
+	b.o.TrackSeq = true
+	b.o.OneDirection = true
+	{
+		c, s := w.Addr(1, 0, 230), w.Addr(12, 0, 1230) // LA → Tokyo visible
+		b.seg(0, c, s, 40300, 443, pkt.TCPAck, 3000, 600, 200, 0, 0)
+		b.seg(70e6, c, s, 40300, 443, pkt.TCPAck, 3200, 900, 100, 0, 0)
+		b.expectRTT("onedir", 12, 1, 70e6, 70e6) // ack 600→900: Tokyo answered
+		b.seg(150e6, c, s, 40300, 443, pkt.TCPAck, 3300, 1400, 0, 0, 0)
+		b.expectRTT("onedir", 12, 1, 80e6, 150e6) // ack 900→1400
+
+		c2, s2 := w.Addr(4, 0, 240), w.Addr(0, 0, 1240) // Sydney → Auckland visible
+		b.seg(10e6, c2, s2, 40310, 443, pkt.TCPAck, 500, 100, 50, 1000, 50)
+		b.seg(80e6, c2, s2, 40310, 443, pkt.TCPAck, 550, 100, 50, 1070, 77)
+		b.expectRTT("onedir", 0, 4, 70e6, 80e6) // tsecr 50→77: Auckland answered
+	}
+	caps = append(caps, b.finish("onedir"))
+
+	// ts_seq_mixed: both trackers on one pipeline. The first flow carries
+	// timestamps — ALL its RTT samples must come from the timestamp
+	// tracker (mode=ts, no seq double counting) while its retransmission
+	// is still classified by the seq tracker. The second flow has no
+	// timestamps and is sampled by sequence matching alone.
+	b = newCapB(tb, w)
+	b.o.TrackSeq = true
+	b.o.TrackTS = true
+	{
+		c, s := w.Addr(0, 0, 250), w.Addr(1, 0, 1250) // Auckland ↔ LA, with TS
+		b.seg(0, c, s, 40400, 443, pkt.TCPAck, 4000, 8000, 100, 100, 0)
+		b.seg(40e6, s, c, 443, 40400, pkt.TCPAck, 8000, 4100, 0, 500, 100)
+		b.expectRTT("ts", 1, 0, 40e6, 40e6) // echo of TSval 100 — and no seq sample
+		b.seg(55e6, c, s, 40400, 443, pkt.TCPAck, 4100, 8000, 100, 155, 500)
+		b.expectRTT("ts", 0, 1, 15e6, 55e6) // echo of TSval 500
+		// Retransmission of [4100,4200): no TS sample (same TSval, first
+		// kept), no seq sample (deferred), but the loss IS classified.
+		b.seg(70e6, c, s, 40400, 443, pkt.TCPAck, 4100, 8000, 100, 155, 500)
+		b.expectLoss("retrans", 0, 1, 70e6)
+		b.seg(100e6, s, c, 443, 40400, pkt.TCPAck, 8000, 4200, 0, 540, 155)
+		b.expectRTT("ts", 1, 0, 45e6, 100e6) // TSval 155 from its FIRST send at 55ms
+
+		c2, s2 := w.Addr(4, 0, 260), w.Addr(12, 0, 1260) // Sydney ↔ Tokyo, no TS
+		b.seg(5e6, c2, s2, 40410, 443, pkt.TCPAck, 6000, 300, 150, 0, 0)
+		b.seg(65e6, s2, c2, 443, 40410, pkt.TCPAck, 300, 6150, 0, 0, 0)
+		b.expectRTT("seq", 12, 4, 60e6, 65e6)
+	}
+	caps = append(caps, b.finish("ts_seq_mixed"))
+
 	return caps
 }
 
@@ -377,6 +628,9 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 	p, err := New(Config{
 		GeoDB:  w.DB(),
 		Queues: 2, Overflow: nic.Block, SinkWorkers: 2,
+		TrackTimestamps: oracle.TrackTS,
+		TrackSeq:        oracle.TrackSeq,
+		OneDirection:    oracle.OneDirection,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -407,18 +661,28 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 		t.Fatalf("replayed %d frames, want %d", n, oracle.Replayed)
 	}
 
-	// Drain: every completed measurement must land in the TSDB (Block
-	// policy + tiny load = zero loss anywhere downstream).
+	// Drain: every completed measurement, every tracker sample and every
+	// loss event must land in the TSDB (Block policy + tiny load = zero
+	// loss anywhere downstream). The engine publishes tracker snapshots at
+	// burst boundaries, so the predicate also waits for the per-queue Seq
+	// counters to reach the oracle before asserting on them.
+	lossTotal := oracle.Retrans + oracle.RTO + oracle.DupACK
+	expectedDB := oracle.Completed + oracle.TSSamples + oracle.SeqSamples + lossTotal
 	deadline := time.Now().Add(10 * time.Second)
 	var st Stats
 	for {
 		st = p.Stats()
-		if st.Engine.Completed == oracle.Completed && st.DBPoints == oracle.Completed {
+		if st.Engine.Completed == oracle.Completed && st.DBPoints == expectedDB &&
+			st.TSSamples == oracle.TSSamples && st.SeqSamples == oracle.SeqSamples &&
+			st.LossPoints == lossTotal &&
+			st.Seq.Retrans == oracle.Retrans && st.Seq.RTO == oracle.RTO &&
+			st.Seq.DupACK == oracle.DupACK {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("drain timeout: engine completed %d / db %d, want %d",
-				st.Engine.Completed, st.DBPoints, oracle.Completed)
+			t.Fatalf("drain timeout: engine completed %d / db %d / ts %d / seq %d / loss %d, want %d / %d / %d / %d / %d",
+				st.Engine.Completed, st.DBPoints, st.TSSamples, st.SeqSamples, st.LossPoints,
+				oracle.Completed, expectedDB, oracle.TSSamples, oracle.SeqSamples, lossTotal)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -437,6 +701,17 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 		{"aborted", st.Engine.Aborted, oracle.Aborted},
 		{"midstream acks", st.Engine.MidstreamACKs, oracle.MidstreamACKs},
 		{"invalid acks", st.Engine.InvalidACKs, oracle.InvalidACKs},
+		// Tracker counters: what the trackers emitted (tracker-level) and
+		// what reached storage (pipeline-level) must both equal the oracle —
+		// a write that vanished between the two is a ledger bug.
+		{"ts samples (tracker)", st.TSRTT.Samples, oracle.TSSamples},
+		{"ts samples (stored)", st.TSSamples, oracle.TSSamples},
+		{"seq samples (tracker)", st.Seq.Samples, oracle.SeqSamples},
+		{"seq samples (stored)", st.SeqSamples, oracle.SeqSamples},
+		{"retrans", st.Seq.Retrans, oracle.Retrans},
+		{"rto", st.Seq.RTO, oracle.RTO},
+		{"dupack", st.Seq.DupACK, oracle.DupACK},
+		{"loss points (stored)", st.LossPoints, lossTotal},
 	}
 	for _, c := range checks {
 		if c.got != c.want {
@@ -444,10 +719,13 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 		}
 	}
 
-	// Loss-accounting ledger: nothing silently lost downstream.
-	if st.Engine.Completed != st.DBPoints+st.SinkDrop+st.SinkDecodeErrors+st.DBDropped+st.DBWriteErrors {
-		t.Errorf("ledger violated: completed %d != db %d + drops %d/%d/%d/%d",
-			st.Engine.Completed, st.DBPoints, st.SinkDrop, st.SinkDecodeErrors, st.DBDropped, st.DBWriteErrors)
+	// Loss-accounting ledger: nothing silently lost downstream. DBPoints
+	// counts every stored point, so the completed-handshake share is what
+	// remains after the continuous-RTT and loss streams are subtracted.
+	completedStored := st.DBPoints - st.TSSamples - st.SeqSamples - st.LossPoints
+	if st.Engine.Completed != completedStored+st.SinkDrop+st.SinkDecodeErrors+st.DBDropped+st.DBWriteErrors {
+		t.Errorf("ledger violated: completed %d != stored %d + drops %d/%d/%d/%d",
+			st.Engine.Completed, completedStored, st.SinkDrop, st.SinkDecodeErrors, st.DBDropped, st.DBWriteErrors)
 	}
 
 	// Per-flow measurements, bit-exact, in (Time, SrcCity) order.
@@ -473,4 +751,71 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 			t.Errorf("flow %d:\n got  %+v\n want %+v", i, got, want)
 		}
 	}
+
+	// Continuous-RTT series, bit-exact, read back from the TSDB itself: a
+	// snapshot is parsed line-by-line and every rtt_stream / tcp_loss point
+	// must match the oracle in tags, value and timestamp. Whole-millisecond
+	// scripted RTTs make the float comparison exact.
+	var snap bytes.Buffer
+	if _, err := p.DB.Snapshot(&snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	var gotRTT []goldenRTT
+	var gotLoss []goldenLoss
+	var pt tsdb.Point
+	for _, line := range strings.Split(snap.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if err := tsdb.ParseLine(line, &pt); err != nil {
+			t.Fatalf("snapshot line %q: %v", line, err)
+		}
+		switch pt.Name {
+		case "rtt_stream":
+			gotRTT = append(gotRTT, goldenRTT{
+				Mode:       tagVal(&pt, "mode"),
+				EchoerCity: tagVal(&pt, "echoer_city"),
+				PeerCity:   tagVal(&pt, "peer_city"),
+				RTTMs:      pt.Fields[0].Value,
+				Time:       pt.Time,
+			})
+		case "tcp_loss":
+			gotLoss = append(gotLoss, goldenLoss{
+				SrcCity: tagVal(&pt, "src_city"),
+				DstCity: tagVal(&pt, "dst_city"),
+				Kind:    tagVal(&pt, "kind"),
+				Time:    pt.Time,
+			})
+		}
+	}
+	sortGoldenRTT(gotRTT)
+	sortGoldenLoss(gotLoss)
+	if len(gotRTT) != len(oracle.RTTSamples) {
+		t.Fatalf("stored %d rtt_stream points, want %d:\n got  %+v\n want %+v",
+			len(gotRTT), len(oracle.RTTSamples), gotRTT, oracle.RTTSamples)
+	}
+	for i, want := range oracle.RTTSamples {
+		if gotRTT[i] != want {
+			t.Errorf("rtt sample %d:\n got  %+v\n want %+v", i, gotRTT[i], want)
+		}
+	}
+	if len(gotLoss) != len(oracle.LossEvents) {
+		t.Fatalf("stored %d tcp_loss points, want %d:\n got  %+v\n want %+v",
+			len(gotLoss), len(oracle.LossEvents), gotLoss, oracle.LossEvents)
+	}
+	for i, want := range oracle.LossEvents {
+		if gotLoss[i] != want {
+			t.Errorf("loss event %d:\n got  %+v\n want %+v", i, gotLoss[i], want)
+		}
+	}
+}
+
+// tagVal extracts one tag by key from a parsed point.
+func tagVal(p *tsdb.Point, key string) string {
+	for _, tg := range p.Tags {
+		if tg.Key == key {
+			return tg.Value
+		}
+	}
+	return ""
 }

@@ -124,8 +124,24 @@ type Config struct {
 	// TrackTimestamps enables continuous RTT measurement from TCP
 	// timestamp echoes (the pping-style extension). Samples are
 	// geo-enriched (IPs dropped, like measurements) and written to the
-	// TSDB measurement "rtt_stream" with tags echoer_city/peer_city/side.
+	// TSDB measurement "rtt_stream" with tags echoer_city/peer_city and
+	// mode=ts.
 	TrackTimestamps bool
+
+	// TrackSeq enables continuous RTT from data→ACK sequence matching
+	// plus retransmit/RTO/dupack loss classification — the flows the
+	// timestamp tracker cannot see (no TS option negotiated). Samples
+	// join "rtt_stream" tagged mode=seq; loss events are written to the
+	// "tcp_loss" measurement with tags src_city/dst_city/kind. When both
+	// trackers run, timestamp-bearing flows are sampled only by the
+	// timestamp tracker (no double counting) while loss classification
+	// stays on for every flow.
+	TrackSeq bool
+	// OneDirection switches the seq tracker to asymmetric-tap mode for
+	// taps that see only one side of each conversation: samples become
+	// round-trip *response* latencies self-paired within the visible
+	// direction, tagged mode=onedir. Implies TrackSeq.
+	OneDirection bool
 
 	// RemoteWrite, when Addr is set, turns this pipeline into a federation
 	// probe: every enriched measurement additionally streams to a central
@@ -177,7 +193,9 @@ type Pipeline struct {
 	spikeEventsMu sync.Mutex
 	spikeEvents   []anomaly.Event
 
-	tsSamples atomic.Uint64
+	tsSamples  atomic.Uint64
+	seqSamples atomic.Uint64
+	lossPoints atomic.Uint64
 
 	sinkSub          *mq.Subscription
 	sinkShards       []*sinkShard
@@ -277,6 +295,16 @@ func New(cfg Config) (*Pipeline, error) {
 			Timeout:  cfg.HandshakeTimeout,
 		}
 	}
+	if cfg.TrackSeq || cfg.OneDirection {
+		engCfg.SeqSink = seqSinkAdapter{p}
+		engCfg.SeqTable = core.SeqConfig{
+			Capacity:     cfg.TableCapacity,
+			Timeout:      cfg.HandshakeTimeout,
+			OneDirection: cfg.OneDirection,
+			// DeferTS is decided by the engine: set iff the timestamp
+			// tracker also runs and the tap sees both directions.
+		}
+	}
 	p.Engine, err = core.NewEngine(engCfg)
 	if err != nil {
 		return nil, err
@@ -360,6 +388,7 @@ func (p *Pipeline) onTSSample(s *core.TSSample) {
 		Tags: []tsdb.Tag{
 			{Key: "echoer_city", Value: echoCity},
 			{Key: "peer_city", Value: peerCity},
+			{Key: "mode", Value: "ts"},
 		},
 		Fields: []tsdb.Field{{Key: "rtt_ms", Value: float64(s.RTT) / 1e6}},
 		Time:   s.At,
@@ -371,6 +400,79 @@ func (p *Pipeline) onTSSample(s *core.TSSample) {
 		return
 	}
 	p.tsSamples.Add(1)
+}
+
+// seqSinkAdapter routes seq-tracker output from the engine's queue workers
+// into the pipeline's storage path.
+type seqSinkAdapter struct{ p *Pipeline }
+
+func (a seqSinkAdapter) EmitSeq(s *core.SeqSample) { a.p.onSeqSample(s) }
+
+func (a seqSinkAdapter) EmitLoss(ev *core.LossEvent) { a.p.onLossEvent(ev) }
+
+// onSeqSample stores one sequence-matched RTT sample into the same
+// "rtt_stream" measurement as timestamp samples — geo-enriched, IPs
+// dropped — distinguished by the mode tag (seq, or onedir for
+// asymmetric-tap estimates), so rollups, anomaly detection, dashboards and
+// federation consume the new series unchanged. The ACK sender (for onedir,
+// the invisible peer) fills the echoer_city position: both trackers put
+// the measured side of the path in that tag.
+func (p *Pipeline) onSeqSample(s *core.SeqSample) {
+	respCity, peerCity := "Unknown", "Unknown"
+	if rec, ok := p.cfg.GeoDB.Lookup(s.Responder); ok {
+		respCity = rec.City
+	}
+	if rec, ok := p.cfg.GeoDB.Lookup(s.Peer); ok {
+		peerCity = rec.City
+	}
+	mode := "seq"
+	if s.OneDir {
+		mode = "onedir"
+	}
+	pt := tsdb.Point{
+		Name: "rtt_stream",
+		Tags: []tsdb.Tag{
+			{Key: "echoer_city", Value: respCity},
+			{Key: "peer_city", Value: peerCity},
+			{Key: "mode", Value: mode},
+		},
+		Fields: []tsdb.Field{{Key: "rtt_ms", Value: float64(s.RTT) / 1e6}},
+		Time:   s.At,
+	}
+	if err := p.DB.Write(&pt); err != nil {
+		p.sinkWriteErrors.Add(1)
+		return
+	}
+	p.seqSamples.Add(1)
+}
+
+// onLossEvent stores one classified loss/quality event as a "tcp_loss"
+// point (count=1 per event, so any time-window sum is an event count),
+// tagged with the anonymized endpoints and the class: retrans, rto or
+// dupack.
+func (p *Pipeline) onLossEvent(ev *core.LossEvent) {
+	srcCity, dstCity := "Unknown", "Unknown"
+	if rec, ok := p.cfg.GeoDB.Lookup(ev.Src); ok {
+		srcCity = rec.City
+	}
+	if rec, ok := p.cfg.GeoDB.Lookup(ev.Dst); ok {
+		dstCity = rec.City
+	}
+	pt := tsdb.Point{
+		Name: "tcp_loss",
+		Tags: []tsdb.Tag{
+			{Key: "src_city", Value: srcCity},
+			{Key: "dst_city", Value: dstCity},
+			{Key: "kind", Value: ev.Kind.String()},
+		},
+		Fields: []tsdb.Field{{Key: "count", Value: 1}},
+		Time:   ev.At,
+	}
+	if err := p.DB.Write(&pt); err != nil {
+		p.sinkWriteErrors.Add(1)
+		return
+	}
+	p.lossPoints.Add(1)
 }
 
 // Run operates the pipeline until ctx is cancelled. It returns ctx.Err().
@@ -472,7 +574,18 @@ type Stats struct {
 	// failure (full disk) refusing the write. Counted so neither loss
 	// class is silent.
 	DBWriteErrors uint64
-	TSSamples     uint64 // continuous RTT samples (when TrackTimestamps)
+	TSSamples     uint64 // timestamp-echo RTT samples stored (when TrackTimestamps)
+	// SeqSamples counts sequence-matched RTT samples stored (mode=seq and
+	// mode=onedir) and LossPoints the stored tcp_loss events, both part of
+	// the same must-not-vanish accounting as DBWriteErrors.
+	SeqSamples uint64
+	LossPoints uint64
+	// TSRTT and Seq are the trackers' own counters (per-queue snapshots
+	// aggregated at burst boundaries, zero when the tracker is off):
+	// insert/match/unmatched/eviction behaviour plus the seq tracker's
+	// retrans/rto/dupack classification totals.
+	TSRTT core.TSStats
+	Seq   core.SeqStats
 	// Persist reports the TSDB durability counters (WAL appends/fsyncs,
 	// what the last restart recovered, checkpoint age). Zero value with
 	// Enabled=false when Config.Persist is unset.
@@ -520,6 +633,10 @@ func (p *Pipeline) Stats() Stats {
 		SinkDrop:         p.sinkSub.Dropped(),
 		DBWriteErrors:    p.sinkWriteErrors.Load(),
 		TSSamples:        p.tsSamples.Load(),
+		SeqSamples:       p.seqSamples.Load(),
+		LossPoints:       p.lossPoints.Load(),
+		TSRTT:            p.Engine.TSStats(),
+		Seq:              p.Engine.SeqStats(),
 		Persist:          p.DB.PersistStats(),
 		Remote:           remote,
 		Fed:              agg,

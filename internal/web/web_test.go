@@ -73,6 +73,46 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsContinuousRTTFields pins the /api/stats JSON surface for the
+// continuous-RTT trackers: the stored-sample counters and both trackers'
+// counter blocks must be present (zero-valued with the trackers off) so
+// dashboards and the federation aggregator can rely on the shape without
+// probing the configuration.
+func TestStatsContinuousRTTFields(t *testing.T) {
+	_, srv := newServer(t)
+	var st map[string]any
+	getJSON(t, srv.URL+"/api/stats", &st)
+	for _, key := range []string{"TSSamples", "SeqSamples", "LossPoints"} {
+		v, ok := st[key]
+		if !ok {
+			t.Errorf("/api/stats missing %q", key)
+			continue
+		}
+		if n, ok := v.(float64); !ok || n != 0 {
+			t.Errorf("%s = %v, want 0 with trackers off", key, v)
+		}
+	}
+	cases := []struct {
+		block  string
+		fields []string
+	}{
+		{"TSRTT", []string{"Packets", "Inserted", "Samples", "Unmatched", "Expired", "TableFull", "Occupancy"}},
+		{"Seq", []string{"Packets", "Inserted", "Samples", "OneDirSamples", "Unmatched", "Retrans", "RTO", "DupACK", "Expired", "TableFull", "Occupancy"}},
+	}
+	for _, tc := range cases {
+		blk, ok := st[tc.block].(map[string]any)
+		if !ok {
+			t.Errorf("/api/stats missing tracker block %q (got %v)", tc.block, st[tc.block])
+			continue
+		}
+		for _, f := range tc.fields {
+			if _, ok := blk[f]; !ok {
+				t.Errorf("/api/stats %s missing field %q", tc.block, f)
+			}
+		}
+	}
+}
+
 func TestQueryEndpoint(t *testing.T) {
 	p, srv := newServer(t)
 	feedSamples(p, 100)
