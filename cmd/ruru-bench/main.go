@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all
+//	ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|all
 //	ruru-bench -json BENCH_PRn.json [-benchtime 1s]
 //
 // The second form runs the fixed microbenchmark suite (internal/bench) via
@@ -34,7 +34,7 @@ func main() {
 		benchtime = flag.String("benchtime", "", "per-benchmark run time for -json (default: testing's 1s)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ruru-bench [flags] e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|all\n")
 		fmt.Fprintf(os.Stderr, "       ruru-bench -json BENCH_PRn.json [-benchtime 1s]\n")
 		flag.PrintDefaults()
 	}
@@ -133,6 +133,11 @@ func main() {
 				Points: int(100_000 * scale),
 			}, w)
 			return err
+		case "e15":
+			_, err := experiments.E15(experiments.E15Config{
+				Flows: int(10_000_000 * scale),
+			}, w)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -167,7 +172,7 @@ func runJSON(path, benchtime string) error {
 func runExperiments(run func(id string) error) {
 	ids := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -9,6 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"ruru/internal/fed"
@@ -33,6 +36,11 @@ type options struct {
 	sinkBatch int
 	dbStripes int
 	dataDir   string
+
+	// flowTableBytes enables the bounded-memory sketch tier when > 0:
+	// a hard byte cap across sketches, heavy-hitter summaries and every
+	// exact flow-table entry (see ruru.Config.FlowTableBytes).
+	flowTableBytes int64
 
 	// Continuous-RTT trackers: -timestamps (TSval/TSecr echo pairing),
 	// -track-seq (data→ACK sequence matching + loss classification) and
@@ -77,6 +85,7 @@ func parseFlags(name string, args []string, hostname func() (string, error)) (*o
 		sinkWk     = fs.Int("sink-workers", 4, "sharded sink workers (measurements partitioned by city pair)")
 		sinkBatch  = fs.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
 		dbStripes  = fs.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
+		flowBytes  = fs.String("flow-table-bytes", "", "hard byte cap on all per-flow state, enabling the bounded-memory sketch tier: elephants keep exact records, mice live sketch-only past the cap (size suffixes K/M/G/T, e.g. 64M; empty or 0 = exact-only)")
 		rollup     = fs.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
 		dataDir    = fs.String("data-dir", "", "durable TSDB storage in this directory (WAL + checkpoints, restored on start); empty = in-memory")
 		fsyncMode  = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
@@ -109,6 +118,9 @@ func parseFlags(name string, args []string, hostname func() (string, error)) (*o
 	var err error
 	if o.rollups, err = parseRollups(*rollup); err != nil {
 		return nil, fmt.Errorf("bad -rollup: %v", err)
+	}
+	if o.flowTableBytes, err = parseBytes(*flowBytes); err != nil {
+		return nil, fmt.Errorf("bad -flow-table-bytes: %v", err)
 	}
 
 	var fsync tsdb.FsyncPolicy
@@ -173,4 +185,37 @@ func parseFlags(name string, args []string, hostname func() (string, error)) (*o
 		}
 	}
 	return o, nil
+}
+
+// parseBytes parses a byte count with an optional binary size suffix:
+// "65536", "64K", "64M", "1G", "1T", with B/iB spellings accepted
+// ("64MB", "64MiB"). Empty means 0 (feature off).
+func parseBytes(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	if u == "" {
+		return 0, nil
+	}
+	u = strings.TrimSuffix(u, "IB")
+	u = strings.TrimSuffix(u, "B")
+	mult := int64(1)
+	if n := len(u); n > 0 {
+		switch u[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			u = u[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(u, 10, 64)
+	if err != nil || v < 0 || v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
 }

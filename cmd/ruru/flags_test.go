@@ -139,7 +139,26 @@ func TestFlagParsing(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "flow table cap with suffix",
+			args: []string{"-flow-table-bytes", "64M"},
+			check: func(t *testing.T, o *options) {
+				if o.flowTableBytes != 64<<20 {
+					t.Errorf("flowTableBytes = %d, want 64MiB", o.flowTableBytes)
+				}
+			},
+		},
+		{
+			name: "flow table cap defaults to exact mode",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.flowTableBytes != 0 {
+					t.Errorf("flowTableBytes = %d, want 0 (exact-only)", o.flowTableBytes)
+				}
+			},
+		},
 		{name: "unknown flag", args: []string{"-no-such-flag"}, wantErr: "not defined"},
+		{name: "bad flow table cap", args: []string{"-flow-table-bytes", "lots"}, wantErr: "bad -flow-table-bytes"},
 		{name: "bad overflow", args: []string{"-overflow", "spill"}, wantErr: "unknown -overflow"},
 		{name: "bad fsync", args: []string{"-fsync", "sometimes"}, wantErr: "unknown -fsync"},
 		{name: "bad mode", args: []string{"-mode", "relay"}, wantErr: "unknown -mode"},
@@ -161,5 +180,32 @@ func TestFlagParsing(t *testing.T) {
 			}
 			tc.check(t, o)
 		})
+	}
+}
+
+// TestParseBytes pins the size-suffix grammar of -flow-table-bytes: plain
+// integers are bytes, a trailing K/M/G/T (optionally with B or iB) is a
+// binary multiplier, and anything ambiguous or overflowing is rejected.
+func TestParseBytes(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"", 0}, {"0", 0}, {"123", 123},
+		{"4K", 4 << 10}, {"4KB", 4 << 10}, {"4KiB", 4 << 10}, {"4kib", 4 << 10},
+		{"64M", 64 << 20}, {"64MB", 64 << 20}, {"64MiB", 64 << 20},
+		{"2G", 2 << 30}, {"1T", 1 << 40},
+		{" 8M ", 8 << 20}, {"100B", 100},
+	}
+	for _, tc := range good {
+		got, err := parseBytes(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"lots", "-1", "-4K", "12X", "K", "4.5M", "9999999999G", "64MiBs"} {
+		if got, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) = %d, want error", in, got)
+		}
 	}
 }

@@ -62,6 +62,7 @@ func main() {
 		TrackTimestamps: opt.timestamps,
 		TrackSeq:        opt.trackSeq,
 		OneDirection:    opt.oneDir,
+		FlowTableBytes:  opt.flowTableBytes,
 		SinkWorkers:     opt.sinkWk,
 		SinkBatch:       opt.sinkBatch,
 		DBStripes:       opt.dbStripes,

@@ -24,6 +24,7 @@ import (
 	"ruru/internal/nic"
 	"ruru/internal/pkt"
 	"ruru/internal/rss"
+	"ruru/internal/sketch"
 	"ruru/internal/tsdb"
 )
 
@@ -70,6 +71,8 @@ func Specs() []Spec {
 		{Name: "db/write-batch-ref-steady", F: benchDBWriteBatchRefSteady},
 		{Name: "wal/write-interval", F: benchWALWrite},
 		{Name: "query/rollup", F: benchRollupQuery},
+		{Name: "sketch/update", F: benchSketchUpdate},
+		{Name: "sketch/topk", F: benchSketchTopK},
 	}
 }
 
@@ -527,5 +530,58 @@ func benchRollupQuery(b *testing.B) {
 func reportPPS(b *testing.B, pointsPerOp int) {
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(b.N)*float64(pointsPerOp)/s, "pps")
+	}
+}
+
+// benchSketchUpdate: the bounded-memory tier's per-packet cost — a
+// conservative-update count-min write plus the space-saving flow and
+// /24-prefix heavy-hitter updates — steady state over 256 tracked flows
+// (all hot paths //ruru:noalloc; the trajectory pins allocs_per_op at 0).
+func benchSketchUpdate(b *testing.B) {
+	tier, err := sketch.NewFlowTier(sketch.TierConfig{BudgetBytes: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const flows = 256
+	var fl [flows]*pkt.Summary
+	for i := range fl {
+		s, _ := benchSummary(byte(i), 1, uint16(5000+i), 443, 1000, 1, nil)
+		s.IP4.TotalLen = 1500
+		fl[i] = s
+	}
+	// Warm-up: every flow tracked, so the loop measures the steady-state
+	// update path, not summary churn.
+	for i := range fl {
+		tier.Observe(fl[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tier.Observe(fl[i%flows])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+}
+
+// benchSketchTopK: the /api/topk serving cost — rank the 10 largest of a
+// full 1024-entry heavy-hitter summary into a reused buffer per op
+// (sketch.TopK.Top; 0 allocs/op once the buffer is warm). Sized to stay
+// cache-resident so the trajectory tracks the ranking code, not memory
+// pressure from the rest of the suite.
+func benchSketchTopK(b *testing.B) {
+	const keys = 1024
+	tk := sketch.NewTopK[sketch.FlowID](keys)
+	for i := 0; i < keys; i++ {
+		id := sketch.FlowID{
+			A:     netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			B:     netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+			APort: uint16(i), BPort: 443,
+		}
+		tk.Update(id, uint64(i+1)*7919)
+	}
+	dst := make([]sketch.Item[sketch.FlowID], 0, keys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tk.Top(dst[:0], 10)
 	}
 }

@@ -95,6 +95,7 @@ type entry struct {
 	state     entryState
 	retrans   uint8
 	ipv6      bool
+	promoted  bool // admitted through the sketch tier's elephant path
 }
 
 // TableConfig configures a HandshakeTable.
@@ -113,6 +114,10 @@ type TableConfig struct {
 	// unanswered-SYN signal the flood detector consumes). Called from
 	// the table's single-writer goroutine; must be fast or hand off.
 	OnExpire func(lastTS int64, awaitingSYNACK bool)
+	// Admit, when non-nil, gates new-flow inserts against a byte budget:
+	// a refused flow allocates no entry and lives sketch-only. Must be
+	// owned by the same goroutine as the table (see Admitter).
+	Admit Admitter
 }
 
 // HandshakeTable tracks in-progress handshakes for one RSS queue.
@@ -125,6 +130,7 @@ type HandshakeTable struct {
 	timeout  int64
 	queue    int
 	onExpire func(lastTS int64, awaitingSYNACK bool)
+	admit    Admitter
 	stats    TableStats
 
 	sweepPos  uint32 // incremental sweep cursor
@@ -153,6 +159,7 @@ func NewHandshakeTable(cfg TableConfig) *HandshakeTable {
 		timeout:  timeout,
 		queue:    cfg.Queue,
 		onExpire: cfg.OnExpire,
+		admit:    cfg.Admit,
 	}
 }
 
@@ -199,6 +206,9 @@ func (t *HandshakeTable) find(hash uint32, key FlowKey) (idx uint32, found bool)
 // remove deletes slot i using backward-shift deletion, preserving probe
 // chains without tombstones.
 func (t *HandshakeTable) remove(i uint32) {
+	if t.admit != nil {
+		t.admit.Release(HandshakeEntryBytes, t.slots[i].promoted)
+	}
 	t.live--
 	for {
 		t.slots[i] = entry{}
@@ -264,9 +274,12 @@ func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Me
 				t.stats.SYNRetrans++
 				return false
 			}
-			// A new connection reusing the 4-tuple: restart tracking.
+			// A new connection reusing the 4-tuple: restart tracking. The
+			// slot's budget charge (and promoted flag) carries over — the
+			// record is reused, not reallocated, so the admitter is not
+			// re-consulted.
 			*e = entry{key: key, synTS: ts, lastTS: ts, clientISN: tcp.Seq,
-				hash: rssHash, state: stateSYN, ipv6: s.IPv6}
+				hash: rssHash, state: stateSYN, ipv6: s.IPv6, promoted: e.promoted}
 			t.stats.SYNs++
 			return false
 		}
@@ -274,8 +287,19 @@ func (t *HandshakeTable) Process(s *pkt.Summary, ts int64, rssHash uint32, m *Me
 			t.stats.TableFull++
 			return false
 		}
+		var promoted bool
+		if t.admit != nil {
+			// Sketch tier active: the insert consults the promoter instead
+			// of allocating unconditionally. A refusal means the flow stays
+			// sketch-only (counted SketchOnlyFlows by the admitter).
+			ok, prom := t.admit.Admit(HandshakeEntryBytes)
+			if !ok {
+				return false
+			}
+			promoted = prom
+		}
 		t.slots[idx] = entry{key: key, synTS: ts, lastTS: ts, clientISN: tcp.Seq,
-			hash: rssHash, state: stateSYN, ipv6: s.IPv6}
+			hash: rssHash, state: stateSYN, ipv6: s.IPv6, promoted: promoted}
 		t.live++
 		t.stats.SYNs++
 		return false

@@ -134,6 +134,14 @@ type EngineConfig struct {
 	// timestamp-bearing flow is sampled by exactly one tracker.
 	SeqSink  SeqSink
 	SeqTable SeqConfig
+
+	// NewAdmitter, when non-nil, enables the bounded-memory sketch tier:
+	// it is called once per queue at construction and the returned
+	// Admitter gates every exact-table insert on that queue (handshake
+	// table plus both trackers) and observes every parsed TCP packet.
+	// The returned value is handed to the queue's worker goroutine —
+	// single-writer from then on, like the tables themselves.
+	NewAdmitter func(queue int) Admitter
 }
 
 // Engine runs one measurement worker per RSS queue (the paper's "DPDK
@@ -141,6 +149,7 @@ type EngineConfig struct {
 type Engine struct {
 	cfg    EngineConfig
 	tables []*HandshakeTable
+	admits []Admitter // per-queue, nil slice when the sketch tier is off
 	snaps  []statsCell
 
 	mu      sync.Mutex
@@ -153,10 +162,11 @@ type Engine struct {
 // cost is amortized over a whole burst. The tracker snapshots stay zero
 // when the corresponding sink is not configured.
 type statsCell struct {
-	mu   sync.Mutex
-	snap TableStats
-	ts   TSStats
-	seq  SeqStats
+	mu     sync.Mutex
+	snap   TableStats
+	ts     TSStats
+	seq    SeqStats
+	sketch SketchStats
 }
 
 // NewEngine validates cfg and builds the per-queue state.
@@ -175,6 +185,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	for q := 0; q < cfg.Port.NumQueues(); q++ {
 		tc := cfg.Table
 		tc.Queue = q
+		if cfg.NewAdmitter != nil {
+			adm := cfg.NewAdmitter(q)
+			if adm == nil {
+				return nil, errors.New("core: EngineConfig.NewAdmitter returned nil")
+			}
+			e.admits = append(e.admits, adm)
+			tc.Admit = adm
+		}
 		e.tables = append(e.tables, NewHandshakeTable(tc))
 	}
 	return e, nil
@@ -256,6 +274,33 @@ func (e *Engine) SeqStats() SeqStats {
 	return total
 }
 
+// SketchStats aggregates the per-queue sketch-tier ledgers. Zero when
+// EngineConfig.NewAdmitter is unset. Counters and byte gauges sum across
+// queues; the error bounds (EpsilonBytes, CollisionDepth) take the worst
+// queue, since each queue's sketch answers only for its own flows.
+func (e *Engine) SketchStats() SketchStats {
+	var total SketchStats
+	for q := range e.snaps {
+		cell := &e.snaps[q]
+		cell.mu.Lock()
+		s := cell.sketch
+		cell.mu.Unlock()
+		total.Promoted += s.Promoted
+		total.Demoted += s.Demoted
+		total.SketchOnlyFlows += s.SketchOnlyFlows
+		total.LiveBytes += s.LiveBytes
+		total.SketchBytes += s.SketchBytes
+		total.BudgetBytes += s.BudgetBytes
+		if s.EpsilonBytes > total.EpsilonBytes {
+			total.EpsilonBytes = s.EpsilonBytes
+		}
+		if s.CollisionDepth > total.CollisionDepth {
+			total.CollisionDepth = s.CollisionDepth
+		}
+	}
+	return total
+}
+
 // Run polls every queue until ctx is cancelled. It blocks; cancel the
 // context to stop. Packets still queued at cancellation are drained.
 func (e *Engine) Run(ctx context.Context) error {
@@ -297,16 +342,22 @@ func (e *Engine) runQueue(ctx context.Context, q int) {
 		table   = e.tables[q]
 		tracker *TSTracker
 		seqTrk  *SeqTracker
+		adm     Admitter
 		bufs    = make([]*nic.Buf, e.cfg.Burst)
 	)
+	if e.admits != nil {
+		adm = e.admits[q]
+	}
 	if e.cfg.TSSink != nil {
 		tc := e.cfg.TSTable
 		tc.Queue = q
+		tc.Admit = adm
 		tracker = NewTSTracker(tc)
 	}
 	if e.cfg.SeqSink != nil {
 		sc := e.cfg.SeqTable
 		sc.Queue = q
+		sc.Admit = adm
 		if tracker != nil && !sc.OneDirection {
 			sc.DeferTS = true
 		}
@@ -316,6 +367,12 @@ func (e *Engine) runQueue(ctx context.Context, q int) {
 		for i := 0; i < n; i++ {
 			b := bufs[i]
 			if err := parser.Parse(b.Bytes(), &sum); err == nil && sum.IsTCP() {
+				if adm != nil {
+					// The sketch observes every TCP packet before the
+					// tables rule on it, so an Admit for this packet's
+					// flow sees its volume already accounted.
+					adm.Observe(&sum)
+				}
 				if table.Process(&sum, b.Timestamp, b.RSSHash, &m) {
 					e.cfg.Sink.Emit(&m)
 				}
@@ -349,9 +406,22 @@ func (e *Engine) runQueue(ctx context.Context, q int) {
 		if seqTrk != nil {
 			cell.seq = seqTrk.Stats()
 		}
+		if adm != nil {
+			cell.sketch = adm.Stats()
+		}
 		cell.mu.Unlock()
+		if adm != nil {
+			// Refresh the heavy-hitter snapshot readers consume (the tier
+			// throttles the copy internally).
+			adm.Publish(false)
+		}
 	}
-	defer publish()
+	defer func() {
+		if adm != nil {
+			adm.Publish(true) // final unthrottled snapshot for readers
+		}
+		publish()
+	}()
 	idle := 0
 	for {
 		n, err := e.cfg.Port.RxBurst(q, bufs)

@@ -129,11 +129,12 @@ type seqDir struct {
 type seqEntry struct {
 	// key is canonically oriented like tsEntry: the endpoint with the
 	// lexicographically smaller (addr, port) is side A.
-	key    FlowKey
-	hash   uint32
-	lastTS int64
-	state  entryState // stateEmpty or stateSYN (used as "live")
-	a, b   seqDir
+	key      FlowKey
+	hash     uint32
+	lastTS   int64
+	state    entryState // stateEmpty or stateSYN (used as "live")
+	promoted bool       // admitted through the sketch tier's elephant path
+	a, b     seqDir
 }
 
 // SeqConfig configures a SeqTracker.
@@ -159,6 +160,9 @@ type SeqConfig struct {
 	// re-sent range closer than this to its prior transmission is a fast
 	// retransmit, farther is an RTO (default 200ms).
 	RTOThreshold int64
+	// Admit, when non-nil, gates new-flow inserts against the sketch
+	// tier's byte budget (same contract as TableConfig.Admit).
+	Admit Admitter
 }
 
 // SeqTracker measures continuous RTT from data→ACK sequence matching and
@@ -174,6 +178,7 @@ type SeqTracker struct {
 	oneDir  bool
 	deferTS bool
 	rtoGap  int64
+	admit   Admitter
 	stats   SeqStats
 
 	sweepPos  uint32
@@ -207,6 +212,7 @@ func NewSeqTracker(cfg SeqConfig) *SeqTracker {
 		oneDir:  cfg.OneDirection,
 		deferTS: cfg.DeferTS,
 		rtoGap:  rtoGap,
+		admit:   cfg.Admit,
 	}
 }
 
@@ -241,6 +247,9 @@ func (t *SeqTracker) find(hash uint32, key FlowKey) (uint32, bool) {
 }
 
 func (t *SeqTracker) remove(i uint32) {
+	if t.admit != nil {
+		t.admit.Release(SeqEntryBytes, t.slots[i].promoted)
+	}
 	t.live--
 	for {
 		t.slots[i] = seqEntry{}
@@ -296,7 +305,15 @@ func (t *SeqTracker) Process(s *pkt.Summary, ts int64, rssHash uint32, out *SeqS
 			t.stats.TableFull++
 			return false, false
 		}
-		t.slots[idx] = seqEntry{key: key, hash: rssHash, lastTS: ts, state: stateSYN}
+		var promoted bool
+		if t.admit != nil {
+			ok, prom := t.admit.Admit(SeqEntryBytes)
+			if !ok {
+				return false, false
+			}
+			promoted = prom
+		}
+		t.slots[idx] = seqEntry{key: key, hash: rssHash, lastTS: ts, state: stateSYN, promoted: promoted}
 		t.live++
 	}
 	e := &t.slots[idx]

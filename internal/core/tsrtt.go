@@ -58,14 +58,15 @@ type tsPending struct {
 type tsEntry struct {
 	// key is canonically oriented: the endpoint with the lexicographically
 	// smaller (addr, port) is side A.
-	key    FlowKey
-	hash   uint32
-	lastTS int64
-	state  entryState // stateEmpty or stateSYN (used as "live")
-	pendA  [tsPendingSlots]tsPending
-	pendB  [tsPendingSlots]tsPending
-	posA   uint8
-	posB   uint8
+	key      FlowKey
+	hash     uint32
+	lastTS   int64
+	state    entryState // stateEmpty or stateSYN (used as "live")
+	pendA    [tsPendingSlots]tsPending
+	pendB    [tsPendingSlots]tsPending
+	posA     uint8
+	posB     uint8
+	promoted bool // admitted through the sketch tier's elephant path
 }
 
 // TSConfig configures a TSTracker.
@@ -76,6 +77,9 @@ type TSConfig struct {
 	Capacity int
 	Timeout  int64
 	Queue    int
+	// Admit, when non-nil, gates new-flow inserts against the sketch
+	// tier's byte budget (same contract as TableConfig.Admit).
+	Admit Admitter
 }
 
 // TSTracker measures continuous RTT from TCP timestamp echoes for one RSS
@@ -88,6 +92,7 @@ type TSTracker struct {
 	maxLive int
 	timeout int64
 	queue   int
+	admit   Admitter
 	stats   TSStats
 
 	sweepPos  uint32
@@ -114,6 +119,7 @@ func NewTSTracker(cfg TSConfig) *TSTracker {
 		maxLive: n * 85 / 100,
 		timeout: timeout,
 		queue:   cfg.Queue,
+		admit:   cfg.Admit,
 	}
 }
 
@@ -151,6 +157,9 @@ func (t *TSTracker) find(hash uint32, key FlowKey) (uint32, bool) {
 }
 
 func (t *TSTracker) remove(i uint32) {
+	if t.admit != nil {
+		t.admit.Release(TSEntryBytes, t.slots[i].promoted)
+	}
 	t.live--
 	for {
 		t.slots[i] = tsEntry{}
@@ -197,7 +206,15 @@ func (t *TSTracker) Process(s *pkt.Summary, ts int64, rssHash uint32, out *TSSam
 			t.stats.TableFull++
 			return false
 		}
-		t.slots[idx] = tsEntry{key: key, hash: rssHash, lastTS: ts, state: stateSYN}
+		var promoted bool
+		if t.admit != nil {
+			ok, prom := t.admit.Admit(TSEntryBytes)
+			if !ok {
+				return false
+			}
+			promoted = prom
+		}
+		t.slots[idx] = tsEntry{key: key, hash: rssHash, lastTS: ts, state: stateSYN, promoted: promoted}
 		t.live++
 	}
 	e := &t.slots[idx]

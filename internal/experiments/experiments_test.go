@@ -345,3 +345,43 @@ func TestE14Federation(t *testing.T) {
 		t.Fatalf("sent %d applied %d", res.Sent, res.Applied)
 	}
 }
+
+func TestE15SketchSoakSmall(t *testing.T) {
+	res, err := E15(E15Config{Flows: 200_000, Queues: 4, BudgetBytes: 16 << 20, Elephants: 8}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CapHeld {
+		t.Fatalf("byte cap exceeded: high-water %d > %d", res.MaxTierBytes, res.BudgetBytes)
+	}
+	if res.ElephantsRanked != res.Elephants {
+		t.Fatalf("elephants ranked %d/%d", res.ElephantsRanked, res.Elephants)
+	}
+	// The cap must actually bind at this scale: most mice refused into
+	// sketch-only state, yet some exact records (incl. every elephant) live.
+	if res.SketchOnly == 0 {
+		t.Fatal("cap never bound: zero sketch-only flows")
+	}
+	if res.ExactFlows == 0 || res.Promoted < uint64(res.Elephants) {
+		t.Fatalf("exact tier empty or elephants not promoted: %+v", res)
+	}
+	if res.LiveBytes > res.BudgetBytes*int64(res.Queues) {
+		t.Fatalf("live %d exceeds total cap", res.LiveBytes)
+	}
+}
+
+// TestE15FullScaleSoak is the 10M-flow memory-cap soak from the issue:
+// tier bytes stay under the 16MiB/queue cap for the whole run while the
+// heavy-hitter view still surfaces every planted elephant.
+func TestE15FullScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-flow soak skipped in -short")
+	}
+	res, err := E15(E15Config{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CapHeld || res.ElephantsRanked != res.Elephants || res.SketchOnly == 0 {
+		t.Fatalf("soak invariants violated: %+v", res)
+	}
+}

@@ -19,6 +19,9 @@ package lint
 //     only guards the per-burst snapshot publish/read hand-off and nothing
 //     may be acquired under it — in particular no DB write, since sinks
 //     run outside the cell).
+//   - ruru: Pipeline.pairTopMu (the sketch tier's city-pair summary) is
+//     strictly leaf: sink workers and /api/topk readers take it for a
+//     bounded heap update or copy and may acquire nothing under it.
 func RepoLockOrder() *LockOrderSpec {
 	return &LockOrderSpec{
 		Classes: []LockClass{
@@ -32,6 +35,7 @@ func RepoLockOrder() *LockOrderSpec {
 			{ID: "fed.aggProbeMu", Type: "ruru/internal/fed.aggProbe", Field: "mu"},
 			{ID: "fed.probeMu", Type: "ruru/internal/fed.Probe", Field: "mu"},
 			{ID: "core.statsCellMu", Type: "ruru/internal/core.statsCell", Field: "mu"},
+			{ID: "ruru.pairTopMu", Type: "ruru/internal/ruru.Pipeline", Field: "pairTopMu"},
 		},
 		Order: [][2]string{
 			{"tsdb.ckptMu", "tsdb.commitMu"},

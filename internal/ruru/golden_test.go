@@ -608,7 +608,7 @@ func TestGoldenCorpus(t *testing.T) {
 			if err := json.Unmarshal(oj, &oracle); err != nil {
 				t.Fatal(err)
 			}
-			replayGolden(t, w, goldenPath(name, ".pcap"), &oracle)
+			replayGolden(t, w, goldenPath(name, ".pcap"), &oracle, 0)
 		})
 	}
 	if ran == 0 {
@@ -623,7 +623,11 @@ func cutSuffix(s, suffix string) (string, bool) {
 	return s[:len(s)-len(suffix)], true
 }
 
-func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle) {
+// replayGolden replays one capture through a full pipeline and compares
+// bit-exact. flowBytes > 0 additionally enables the sketch tier with that
+// cap — a generous cap must leave every measurement identical (admission
+// admits everything) while the tier's ledger stays clean.
+func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle, flowBytes int64) {
 	t.Helper()
 	p, err := New(Config{
 		GeoDB:  w.DB(),
@@ -631,6 +635,7 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 		TrackTimestamps: oracle.TrackTS,
 		TrackSeq:        oracle.TrackSeq,
 		OneDirection:    oracle.OneDirection,
+		FlowTableBytes:  flowBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -716,6 +721,23 @@ func replayGolden(t *testing.T, w *geo.World, path string, oracle *goldenOracle)
 	for _, c := range checks {
 		if c.got != c.want {
 			t.Errorf("engine %s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	// Sketch-tier ledger under a generous cap: every flow admitted, no
+	// bytes leaked (handshake entries released on completion; tracker
+	// entries may legitimately remain live), budget never exceeded.
+	if flowBytes > 0 {
+		if st.Sketch.SketchOnlyFlows != 0 {
+			t.Errorf("generous cap refused %d flows", st.Sketch.SketchOnlyFlows)
+		}
+		if st.Sketch.LiveBytes+st.Sketch.SketchBytes > st.Sketch.BudgetBytes {
+			t.Errorf("sketch budget exceeded: live %d + fixed %d > %d",
+				st.Sketch.LiveBytes, st.Sketch.SketchBytes, st.Sketch.BudgetBytes)
+		}
+		if st.Sketch.BudgetBytes > flowBytes {
+			t.Errorf("per-queue budgets %d exceed the configured cap %d",
+				st.Sketch.BudgetBytes, flowBytes)
 		}
 	}
 

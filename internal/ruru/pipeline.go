@@ -14,6 +14,7 @@ package ruru
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"ruru/internal/geo"
 	"ruru/internal/mq"
 	"ruru/internal/nic"
+	"ruru/internal/sketch"
 	"ruru/internal/tsdb"
 	"ruru/internal/ws"
 )
@@ -66,6 +68,17 @@ type Config struct {
 	TableCapacity int
 	// HandshakeTimeout evicts incomplete handshakes (default 10s).
 	HandshakeTimeout int64
+
+	// FlowTableBytes, when > 0, enables the bounded-memory sketch tier
+	// and is the hard byte cap across all per-flow state: per-queue
+	// count-min sketches and heavy-hitter summaries (fixed overhead), the
+	// city-pair latency summary, and every exact table entry (handshake
+	// plus both continuous-RTT trackers) charged at its struct size. When
+	// the cap is reached, new flows live sketch-only — volume still
+	// estimated, heavy hitters still ranked, but no per-flow record —
+	// and the induced error is surfaced in Stats.Sketch. Must be at
+	// least MinFlowTableBytes(Queues). Zero keeps exact-only mode.
+	FlowTableBytes int64
 
 	// EnrichWorkers is the analytics pool size (default 4).
 	EnrichWorkers int
@@ -162,6 +175,23 @@ const (
 	TopicEnriched = analytics.TopicEnriched
 )
 
+// pairTopKeys is the capacity of the city-pair latency summary: enough for
+// every pair among ~16 cities, bounded regardless of traffic.
+const pairTopKeys = 256
+
+// MinFlowTableBytes returns the smallest Config.FlowTableBytes able to host
+// the sketch tier for the given queue count: each queue's minimum tier
+// (smallest count-min sketch plus smallest heavy-hitter summaries) plus the
+// fixed city-pair summary. At exactly this budget the exact tables get a
+// zero byte allowance — every flow lives sketch-only — which tests use as a
+// deterministic floor.
+func MinFlowTableBytes(queues int) int64 {
+	if queues <= 0 {
+		queues = 4
+	}
+	return int64(queues)*sketch.MinBudgetBytes() + sketch.NewTopK[string](pairTopKeys).Bytes()
+}
+
 // Pipeline is an assembled Ruru instance. The exported stage fields are
 // the embedding points for callers: inject traffic into Port, read
 // aggregates from DB, attach WebSocket clients via Hub, subscribe to Bus
@@ -186,6 +216,17 @@ type Pipeline struct {
 
 	Remote *fed.Probe      // remote-write client (nil unless Config.RemoteWrite)
 	Agg    *fed.Aggregator // federation endpoint (nil unless Config.Federate)
+
+	// Sketch holds the per-queue bounded-memory flow tiers (nil unless
+	// Config.FlowTableBytes > 0). Each tier is owned by its queue worker;
+	// external readers may only use Snapshot() (see /api/topk).
+	Sketch []*sketch.FlowTier
+
+	// pairTop is the bounded per-(src_city,dst_city) latency summary, fed
+	// by the sink workers under pairTopMu (a leaf lock: nothing is ever
+	// acquired while holding it — see internal/lint spec).
+	pairTop   *sketch.TopK[string]
+	pairTopMu sync.Mutex
 
 	floodMu sync.Mutex
 	snmpMu  sync.Mutex
@@ -304,6 +345,23 @@ func New(cfg Config) (*Pipeline, error) {
 			// DeferTS is decided by the engine: set iff the timestamp
 			// tracker also runs and the tap sees both directions.
 		}
+	}
+	if cfg.FlowTableBytes > 0 {
+		if min := MinFlowTableBytes(cfg.Queues); cfg.FlowTableBytes < min {
+			return nil, fmt.Errorf("ruru: Config.FlowTableBytes %d below minimum %d for %d queues",
+				cfg.FlowTableBytes, min, cfg.Queues)
+		}
+		p.pairTop = sketch.NewTopK[string](pairTopKeys)
+		perQ := (cfg.FlowTableBytes - p.pairTop.Bytes()) / int64(cfg.Queues)
+		p.Sketch = make([]*sketch.FlowTier, cfg.Queues)
+		for q := range p.Sketch {
+			tier, terr := sketch.NewFlowTier(sketch.TierConfig{BudgetBytes: perQ, Queue: q})
+			if terr != nil {
+				return nil, fmt.Errorf("ruru: sketch tier %d: %w", q, terr)
+			}
+			p.Sketch[q] = tier
+		}
+		engCfg.NewAdmitter = func(q int) core.Admitter { return p.Sketch[q] }
 	}
 	p.Engine, err = core.NewEngine(engCfg)
 	if err != nil {
@@ -586,6 +644,11 @@ type Stats struct {
 	// retrans/rto/dupack classification totals.
 	TSRTT core.TSStats
 	Seq   core.SeqStats
+	// Sketch is the bounded-memory tier's ledger (zero with BudgetBytes=0
+	// when Config.FlowTableBytes is unset): promotions/demotions, flows
+	// held sketch-only because the byte cap was reached, the induced error
+	// bound, and the live/fixed byte accounting against the budget.
+	Sketch core.SketchStats
 	// Persist reports the TSDB durability counters (WAL appends/fsyncs,
 	// what the last restart recovered, checkpoint age). Zero value with
 	// Enabled=false when Config.Persist is unset.
@@ -637,6 +700,7 @@ func (p *Pipeline) Stats() Stats {
 		LossPoints:       p.lossPoints.Load(),
 		TSRTT:            p.Engine.TSStats(),
 		Seq:              p.Engine.SeqStats(),
+		Sketch:           p.Engine.SketchStats(),
 		Persist:          p.DB.PersistStats(),
 		Remote:           remote,
 		Fed:              agg,

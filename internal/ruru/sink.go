@@ -199,6 +199,17 @@ func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
 		p.offerDetectors(&batch[i].e, batch[i].pair)
 	}
 
+	if p.pairTop != nil {
+		// One lock round per burst: the city-pair latency summary is a
+		// leaf lock shared by all sink workers (pairs cross shards only
+		// via Feed, but the summary is global either way).
+		p.pairTopMu.Lock()
+		for i := range batch {
+			p.pairTop.UpdateLat(batch[i].pair, 1, float64(batch[i].e.TotalNs)/1e6)
+		}
+		p.pairTopMu.Unlock()
+	}
+
 	sh.mu.Lock()
 	for i := range batch {
 		sh.pushArcLocked(&batch[i].e)
@@ -272,6 +283,11 @@ func (p *Pipeline) Feed(e *analytics.Enriched) {
 		}
 	}
 	p.offerDetectors(e, pair)
+	if p.pairTop != nil {
+		p.pairTopMu.Lock()
+		p.pairTop.UpdateLat(pair, 1, float64(e.TotalNs)/1e6)
+		p.pairTopMu.Unlock()
+	}
 	sh.mu.Lock()
 	sh.pushArcLocked(e)
 	sh.mu.Unlock()

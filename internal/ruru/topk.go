@@ -1,0 +1,92 @@
+package ruru
+
+// Read-side accessors for the bounded-memory sketch tier: merged top-K
+// views across the per-queue tiers plus the global city-pair summary.
+// These back GET /api/topk.
+
+import (
+	"net/netip"
+	"sort"
+
+	"ruru/internal/sketch"
+)
+
+// SketchEnabled reports whether the bounded-memory sketch tier is running
+// (Config.FlowTableBytes > 0).
+func (p *Pipeline) SketchEnabled() bool { return p.Sketch != nil }
+
+// sortItemsDesc orders heavy-hitter items by Count descending (ties by
+// Err, matching TopK.Top).
+func sortItemsDesc[K comparable](items []sketch.Item[K]) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Err > items[j].Err
+	})
+}
+
+// TopFlows returns up to n highest-volume flows (bytes) across all queues
+// (n <= 0: all tracked). RSS gives every flow single-queue affinity, so the
+// per-queue summaries hold disjoint keys and concatenation is an exact
+// merge. Reads the workers' published snapshots; nil without the sketch
+// tier.
+func (p *Pipeline) TopFlows(n int) []sketch.Item[sketch.FlowID] {
+	if p.Sketch == nil {
+		return nil
+	}
+	var all []sketch.Item[sketch.FlowID]
+	for _, t := range p.Sketch {
+		all = append(all, t.Snapshot().Flows...)
+	}
+	sortItemsDesc(all)
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// TopPrefixes returns up to n highest-volume source prefixes (/24 for v4,
+// /48 for v6) across all queues. Unlike flows, one prefix spans many flows
+// and therefore many queues, so entries are merged by key — counts and
+// error bounds sum (both remain valid overestimate bounds).
+func (p *Pipeline) TopPrefixes(n int) []sketch.Item[netip.Prefix] {
+	if p.Sketch == nil {
+		return nil
+	}
+	merged := make(map[netip.Prefix]sketch.Item[netip.Prefix])
+	for _, t := range p.Sketch {
+		for _, it := range t.Snapshot().Prefixes {
+			m, ok := merged[it.Key]
+			if !ok {
+				merged[it.Key] = it
+				continue
+			}
+			m.Count += it.Count
+			m.Err += it.Err
+			merged[it.Key] = m
+		}
+	}
+	all := make([]sketch.Item[netip.Prefix], 0, len(merged))
+	for _, it := range merged {
+		all = append(all, it)
+	}
+	sortItemsDesc(all)
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// TopPairs returns up to n (src_city,dst_city) pairs by measurement count,
+// each with its latency aggregate (count/min/max/sum over the pair's tenure
+// in the summary). Fed by the sink stage; nil without the sketch tier.
+func (p *Pipeline) TopPairs(n int) []sketch.Item[string] {
+	if p.pairTop == nil {
+		return nil
+	}
+	p.pairTopMu.Lock()
+	out := p.pairTop.Top(nil, n)
+	p.pairTopMu.Unlock()
+	return out
+}

@@ -1,0 +1,154 @@
+// Package sketch is the bounded-memory flow-state tier (ROADMAP item 2):
+// a count-min sketch over per-flow volume, space-saving heavy-hitter
+// summaries, and a byte-budgeted admission gate (FlowTier) that promotes
+// elephants into the exact tables while mice live sketch-only. The design
+// follows the sketch-INT line of work (DUNE, in-DRAM working-set tables):
+// exact state only for the working set a sketch selects, bounded error for
+// the tail, and the error surfaced as numbers (core.SketchStats) instead of
+// silent eviction.
+package sketch
+
+import "math"
+
+// CMS is a count-min sketch with conservative update: depth rows of width
+// counters, each update incrementing only the counters that equal the row
+// minimum. Estimates never undercount; they overcount by at most εN
+// (ε = e/width, N = total increments) with probability 1-δ per query
+// (δ = e^-depth). Conservative update tightens the constant in practice
+// without weakening either guarantee.
+//
+// CMS is single-writer, like the per-queue tables it sits beside.
+type CMS struct {
+	rows  []uint64 // depth*width counters, row-major
+	mask  uint64   // width-1 (width is a power of two)
+	width uint64
+	depth int
+
+	total    uint64 // N: sum of all increments
+	distinct uint64 // keys whose first update found a zero minimum
+}
+
+// Row hashing is Kirsch-Mitzenmacher double hashing: row i indexes with
+// h1 + i*h2, derived from one 64-bit key hash, which preserves the
+// count-min bounds without hashing the key depth times.
+const (
+	cmsMinWidth = 1 << 8
+	cmsMaxDepth = 8
+)
+
+// NewCMS builds a sketch with width rounded up to a power of two (minimum
+// 256) and depth clamped to [1,8]. Zero values get 1<<16 x 4: ε ≈ 4e-5,
+// δ ≈ 1.8%.
+func NewCMS(width, depth int) *CMS {
+	if width <= 0 {
+		width = 1 << 16
+	}
+	w := uint64(cmsMinWidth)
+	for w < uint64(width) {
+		w <<= 1
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	if depth > cmsMaxDepth {
+		depth = cmsMaxDepth
+	}
+	return &CMS{
+		rows:  make([]uint64, int(w)*depth),
+		mask:  w - 1,
+		width: w,
+		depth: depth,
+	}
+}
+
+// split derives the two Kirsch-Mitzenmacher base hashes from one 64-bit
+// key hash. h2 is forced odd so successive rows never collapse onto one
+// index when the key hash has a zero high half.
+//
+//ruru:noalloc
+func split(h uint64) (h1, h2 uint64) {
+	h1 = h
+	h2 = (h>>32 | h<<32) | 1
+	return h1, h2
+}
+
+// Update adds inc to key hash h conservatively and returns the new
+// estimate. Counters only grow, so per-key estimates are monotone.
+//
+//ruru:noalloc
+func (c *CMS) Update(h uint64, inc uint64) uint64 {
+	h1, h2 := split(h)
+	// Pass 1: current minimum across rows.
+	min := ^uint64(0)
+	idx := h1
+	for d := 0; d < c.depth; d++ {
+		v := c.rows[uint64(d)*c.width+(idx&c.mask)]
+		if v < min {
+			min = v
+		}
+		idx += h2
+	}
+	if min == 0 {
+		c.distinct++
+	}
+	target := min + inc
+	// Pass 2: conservative update — lift only counters below the new
+	// minimum, so one heavy key cannot inflate every colliding mouse.
+	idx = h1
+	for d := 0; d < c.depth; d++ {
+		p := &c.rows[uint64(d)*c.width+(idx&c.mask)]
+		if *p < target {
+			*p = target
+		}
+		idx += h2
+	}
+	c.total += inc
+	return target
+}
+
+// Estimate returns the count-min estimate for key hash h: the minimum of
+// the key's counters, an overestimate of the true count.
+//
+//ruru:noalloc
+func (c *CMS) Estimate(h uint64) uint64 {
+	h1, h2 := split(h)
+	min := ^uint64(0)
+	idx := h1
+	for d := 0; d < c.depth; d++ {
+		v := c.rows[uint64(d)*c.width+(idx&c.mask)]
+		if v < min {
+			min = v
+		}
+		idx += h2
+	}
+	return min
+}
+
+// Total returns N, the sum of all increments.
+func (c *CMS) Total() uint64 { return c.total }
+
+// Distinct returns the number of keys whose first update found an all-zero
+// minimum — an underestimate of true distinct keys once the sketch is
+// crowded, which is exactly when CollisionDepth should read high anyway.
+func (c *CMS) Distinct() uint64 { return c.distinct }
+
+// Width returns the (power-of-two) row width.
+func (c *CMS) Width() int { return int(c.width) }
+
+// Depth returns the number of rows.
+func (c *CMS) Depth() int { return c.depth }
+
+// Bytes returns the fixed memory footprint of the counter array.
+func (c *CMS) Bytes() int64 { return int64(len(c.rows)) * 8 }
+
+// ErrorBound returns εN: the classic count-min additive error bound for
+// the current total, with ε = e/width.
+func (c *CMS) ErrorBound() uint64 {
+	return uint64(math.Ceil(math.E * float64(c.total) / float64(c.width)))
+}
+
+// CollisionDepth returns ceil(distinct/width): the expected number of
+// distinct keys folded into one counter.
+func (c *CMS) CollisionDepth() uint64 {
+	return (c.distinct + c.width - 1) / c.width
+}

@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCMSBasics(t *testing.T) {
+	c := NewCMS(1000, 4)
+	if c.Width() != 1024 {
+		t.Fatalf("width = %d, want rounded-up 1024", c.Width())
+	}
+	if c.Depth() != 4 {
+		t.Fatalf("depth = %d", c.Depth())
+	}
+	if c.Bytes() != 1024*4*8 {
+		t.Fatalf("bytes = %d", c.Bytes())
+	}
+	if got := c.Estimate(42); got != 0 {
+		t.Fatalf("empty estimate = %d", got)
+	}
+	if got := c.Update(42, 7); got != 7 {
+		t.Fatalf("first update returned %d", got)
+	}
+	if got := c.Update(42, 3); got != 10 {
+		t.Fatalf("second update returned %d", got)
+	}
+	if got := c.Estimate(42); got != 10 {
+		t.Fatalf("estimate = %d", got)
+	}
+	if c.Total() != 10 || c.Distinct() != 1 {
+		t.Fatalf("total %d distinct %d", c.Total(), c.Distinct())
+	}
+}
+
+func TestCMSShapeClamps(t *testing.T) {
+	c := NewCMS(0, 0)
+	if c.Width() != 1<<16 || c.Depth() != 4 {
+		t.Fatalf("defaults: %dx%d", c.Width(), c.Depth())
+	}
+	c = NewCMS(1, 99)
+	if c.Width() != cmsMinWidth || c.Depth() != cmsMaxDepth {
+		t.Fatalf("clamps: %dx%d", c.Width(), c.Depth())
+	}
+}
+
+// TestCMSPropertyVsOracle is the randomized oracle test: many independent
+// trials (seed printed on failure) compare the sketch against an exact map
+// under a skewed update stream and assert the count-min contract —
+// estimates NEVER undercount (conservative update preserves this
+// unconditionally), stay monotone, and exceed the εN additive bound for at
+// most a small fraction of keys (the bound holds per query with probability
+// 1-δ, δ = e^-depth ≈ 1.8% at depth 4; 5% gives deterministic headroom).
+func TestCMSPropertyVsOracle(t *testing.T) {
+	const trials = 60
+	for seed := int64(1); seed <= trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCMS(1<<10, 4)
+		truth := make(map[uint64]uint64)
+		lastEst := make(map[uint64]uint64)
+
+		keys := make([]uint64, 512+rng.Intn(1024))
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		// Zipf-ish skew: low indexes picked far more often, like flow sizes.
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(keys)-1))
+		updates := 5000 + rng.Intn(15000)
+		for u := 0; u < updates; u++ {
+			k := keys[zipf.Uint64()]
+			inc := uint64(1 + rng.Intn(1500))
+			truth[k] += inc
+			est := c.Update(k, inc)
+			if est < truth[k] {
+				t.Fatalf("seed %d: underestimate for key %#x: est %d < truth %d",
+					seed, k, est, truth[k])
+			}
+			if est < lastEst[k] {
+				t.Fatalf("seed %d: non-monotone estimate for key %#x: %d after %d",
+					seed, k, est, lastEst[k])
+			}
+			lastEst[k] = est
+		}
+
+		if c.Total() == 0 {
+			t.Fatalf("seed %d: zero total after %d updates", seed, updates)
+		}
+		bound := c.ErrorBound()
+		violations, queried := 0, 0
+		for k, want := range truth {
+			got := c.Estimate(k)
+			if got < want {
+				t.Fatalf("seed %d: underestimate on readback for key %#x: %d < %d",
+					seed, k, got, want)
+			}
+			queried++
+			if got-want > bound {
+				violations++
+			}
+		}
+		// Unseen keys may still alias into hot counters, but the bound
+		// applies to them too (truth 0).
+		for i := 0; i < 256; i++ {
+			k := rng.Uint64()
+			if _, seen := truth[k]; seen {
+				continue
+			}
+			queried++
+			if c.Estimate(k) > bound {
+				violations++
+			}
+		}
+		if frac := float64(violations) / float64(queried); frac > 0.05 {
+			t.Errorf("seed %d: εN bound (%d) violated for %d/%d keys (%.1f%%), want <= 5%%",
+				seed, bound, violations, queried, 100*frac)
+		}
+	}
+}
+
+func TestCMSCollisionDepthGrowsWithDistinct(t *testing.T) {
+	c := NewCMS(256, 2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1024; i++ {
+		c.Update(rng.Uint64(), 1)
+	}
+	if c.CollisionDepth() < 2 {
+		t.Fatalf("collision depth = %d after 1024 distinct keys over width 256",
+			c.CollisionDepth())
+	}
+}

@@ -1,0 +1,240 @@
+package sketch
+
+import (
+	"cmp"
+	"slices"
+	"unsafe"
+)
+
+// Agg is a running latency aggregate attached to a heavy-hitter entry
+// (min/max/sum/count, enough for mean): the per-(src_city,dst_city)
+// latency summary the paper's dashboard statistics come from, kept in
+// bounded space.
+type Agg struct {
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// merge folds one observation into the aggregate.
+func (a *Agg) merge(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += v
+}
+
+// Item is one tracked heavy hitter. Count overestimates the key's true
+// count by at most Err (the space-saving error: the count of the entry it
+// replaced); Count-Err is a guaranteed lower bound. Lat is only populated
+// through UpdateLat and covers the key's tenure in the summary.
+type Item[K comparable] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+	Lat   Agg
+}
+
+// TopK is a space-saving heavy-hitter summary (Metwally et al.): at most k
+// tracked keys in a min-heap; an unknown key replaces the current minimum
+// and inherits its count as error. The superset guarantee is
+// deterministic: any key with true count > Total/k is tracked.
+//
+// TopK is single-writer; concurrent readers consume copies made by the
+// owner (FlowTier.Publish).
+type TopK[K comparable] struct {
+	k     int
+	idx   map[K]int32 // key -> heap position
+	items []Item[K]   // min-heap on Count
+	total uint64      // sum of all increments
+	evict uint64      // replacements of the minimum
+}
+
+// NewTopK builds a summary tracking at most k keys (default 1024, minimum
+// 8). The map and heap are pre-sized so steady-state updates stay
+// allocation-free once k keys have been seen.
+func NewTopK[K comparable](k int) *TopK[K] {
+	if k <= 0 {
+		k = 1024
+	}
+	if k < 8 {
+		k = 8
+	}
+	return &TopK[K]{
+		k:     k,
+		idx:   make(map[K]int32, k),
+		items: make([]Item[K], 0, k),
+	}
+}
+
+// Update adds inc to key's count.
+//
+//ruru:noalloc
+func (t *TopK[K]) Update(key K, inc uint64) {
+	t.total += inc
+	if i, ok := t.idx[key]; ok {
+		t.items[i].Count += inc
+		t.siftDown(int(i))
+		return
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, Item[K]{Key: key, Count: inc})
+		t.idx[key] = int32(len(t.items) - 1)
+		t.siftUp(len(t.items) - 1)
+		return
+	}
+	// Replace the minimum: the newcomer inherits its count as error.
+	old := &t.items[0]
+	delete(t.idx, old.Key)
+	*old = Item[K]{Key: key, Count: old.Count + inc, Err: old.Count}
+	t.idx[key] = 0
+	t.evict++
+	t.siftDown(0)
+}
+
+// UpdateLat is Update plus a latency observation folded into the entry's
+// aggregate. An entry evicted and re-admitted restarts its aggregate (the
+// summary covers tenure, not lifetime — documented on Item.Lat).
+//
+//ruru:noalloc
+func (t *TopK[K]) UpdateLat(key K, inc uint64, lat float64) {
+	t.total += inc
+	if i, ok := t.idx[key]; ok {
+		it := &t.items[i]
+		it.Count += inc
+		it.Lat.merge(lat)
+		t.siftDown(int(i))
+		return
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, Item[K]{Key: key, Count: inc})
+		i := len(t.items) - 1
+		t.items[i].Lat.merge(lat)
+		t.idx[key] = int32(i)
+		t.siftUp(i)
+		return
+	}
+	old := &t.items[0]
+	delete(t.idx, old.Key)
+	*old = Item[K]{Key: key, Count: old.Count + inc, Err: old.Count}
+	old.Lat.merge(lat)
+	t.idx[key] = 0
+	t.evict++
+	t.siftDown(0)
+}
+
+// heap maintenance: min-heap on Count, idx kept in sync.
+
+//ruru:noalloc
+func (t *TopK[K]) swap(i, j int) {
+	t.items[i], t.items[j] = t.items[j], t.items[i]
+	t.idx[t.items[i].Key] = int32(i)
+	t.idx[t.items[j].Key] = int32(j)
+}
+
+//ruru:noalloc
+func (t *TopK[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.items[parent].Count <= t.items[i].Count {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+//ruru:noalloc
+func (t *TopK[K]) siftDown(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.items[l].Count < t.items[small].Count {
+			small = l
+		}
+		if r < n && t.items[r].Count < t.items[small].Count {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(i, small)
+		i = small
+	}
+}
+
+// Contains reports whether key is currently tracked.
+func (t *TopK[K]) Contains(key K) bool {
+	_, ok := t.idx[key]
+	return ok
+}
+
+// Estimate returns the tracked count for key (an overestimate) and whether
+// the key is tracked at all.
+func (t *TopK[K]) Estimate(key K) (uint64, bool) {
+	i, ok := t.idx[key]
+	if !ok {
+		return 0, false
+	}
+	return t.items[i].Count, true
+}
+
+// Min returns the smallest tracked count (0 while the summary is not yet
+// full) — the bar a newcomer's inherited error starts from.
+func (t *TopK[K]) Min() uint64 {
+	if len(t.items) < t.k {
+		return 0
+	}
+	return t.items[0].Count
+}
+
+// Len returns the number of tracked keys. Total returns the sum of all
+// increments, Evictions the number of minimum replacements.
+func (t *TopK[K]) Len() int          { return len(t.items) }
+func (t *TopK[K]) Total() uint64     { return t.total }
+func (t *TopK[K]) Evictions() uint64 { return t.evict }
+
+// K returns the summary's capacity.
+func (t *TopK[K]) K() int { return t.k }
+
+// Top appends the n largest tracked items, descending by Count, to dst
+// and returns it (n <= 0 or n > Len: all of them). The copy is the
+// publish/serve boundary: callers never see the live heap.
+func (t *TopK[K]) Top(dst []Item[K], n int) []Item[K] {
+	start := len(dst)
+	dst = append(dst, t.items...)
+	out := dst[start:]
+	// Generic (non-reflective) sort: the serve path stays free of
+	// allocations when dst is reused across polls.
+	slices.SortFunc(out, func(a, b Item[K]) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
+		}
+		return cmp.Compare(b.Err, a.Err)
+	})
+	if n > 0 && n < len(out) {
+		dst = dst[:start+n]
+	}
+	return dst
+}
+
+// topkItemBytes estimates the per-entry footprint: the heap slot plus the
+// index map's key+position+bucket overhead.
+func topkItemBytes[K comparable]() int64 {
+	var it Item[K]
+	var key K
+	const mapOverhead = 48 // bucket share + hash cell, empirically ~1.5x key
+	return int64(unsafe.Sizeof(it)) + int64(unsafe.Sizeof(key)) + 4 + mapOverhead
+}
+
+// Bytes returns the fixed memory footprint charged for the summary
+// (capacity-based: space-saving memory does not grow with traffic).
+func (t *TopK[K]) Bytes() int64 {
+	return int64(t.k) * topkItemBytes[K]()
+}

@@ -1,0 +1,150 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopKBasics(t *testing.T) {
+	tk := NewTopK[string](8)
+	if tk.K() != 8 || tk.Len() != 0 || tk.Min() != 0 {
+		t.Fatalf("fresh summary: k=%d len=%d min=%d", tk.K(), tk.Len(), tk.Min())
+	}
+	tk.Update("a", 10)
+	tk.Update("b", 5)
+	tk.Update("a", 1)
+	if got, ok := tk.Estimate("a"); !ok || got != 11 {
+		t.Fatalf("estimate a = %d,%v", got, ok)
+	}
+	if !tk.Contains("b") || tk.Contains("z") {
+		t.Fatal("containment wrong")
+	}
+	if tk.Total() != 16 {
+		t.Fatalf("total = %d", tk.Total())
+	}
+	top := tk.Top(nil, 1)
+	if len(top) != 1 || top[0].Key != "a" || top[0].Count != 11 || top[0].Err != 0 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestTopKReplacementInheritsError(t *testing.T) {
+	tk := NewTopK[int](8)
+	for i := 0; i < 8; i++ {
+		tk.Update(i, uint64(10+i))
+	}
+	// Key 100 replaces the minimum (key 0, count 10) and inherits it.
+	tk.Update(100, 1)
+	if tk.Contains(0) {
+		t.Fatal("minimum not evicted")
+	}
+	got, ok := tk.Estimate(100)
+	if !ok || got != 11 {
+		t.Fatalf("newcomer count = %d", got)
+	}
+	items := tk.Top(nil, 0)
+	for _, it := range items {
+		if it.Key == 100 && it.Err != 10 {
+			t.Fatalf("newcomer err = %d, want inherited 10", it.Err)
+		}
+	}
+	if tk.Evictions() != 1 {
+		t.Fatalf("evictions = %d", tk.Evictions())
+	}
+}
+
+// TestTopKPropertyVsOracle: randomized trials against an exact frequency
+// map (seed printed on failure). The space-saving contract:
+//
+//   - tracked counts never undercount: Count >= truth
+//   - the error bound is honest: Count - Err <= truth
+//   - superset guarantee: every key with truth > Total/k is tracked
+func TestTopKPropertyVsOracle(t *testing.T) {
+	const trials = 60
+	for seed := int64(1); seed <= trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 16 + rng.Intn(64)
+		tk := NewTopK[uint64](k)
+		truth := make(map[uint64]uint64)
+
+		nkeys := k * (2 + rng.Intn(8))
+		zipf := rand.NewZipf(rng, 1.1, 1, uint64(nkeys-1))
+		updates := 3000 + rng.Intn(10000)
+		for u := 0; u < updates; u++ {
+			key := zipf.Uint64()
+			inc := uint64(1 + rng.Intn(100))
+			truth[key] += inc
+			tk.Update(key, inc)
+		}
+
+		if tk.Total() == 0 {
+			t.Fatalf("seed %d: zero total", seed)
+		}
+		for _, it := range tk.Top(nil, 0) {
+			want := truth[it.Key]
+			if it.Count < want {
+				t.Fatalf("seed %d: key %d undercounted: %d < %d", seed, it.Key, it.Count, want)
+			}
+			if it.Count-it.Err > want {
+				t.Fatalf("seed %d: key %d lower bound broken: %d-%d > %d",
+					seed, it.Key, it.Count, it.Err, want)
+			}
+		}
+		bar := tk.Total() / uint64(k)
+		for key, want := range truth {
+			if want > bar && !tk.Contains(key) {
+				t.Fatalf("seed %d: heavy key %d (truth %d > total/k %d) not tracked",
+					seed, key, want, bar)
+			}
+		}
+	}
+}
+
+func TestTopKHeapStaysConsistent(t *testing.T) {
+	tk := NewTopK[int](32)
+	rng := rand.New(rand.NewSource(3))
+	for u := 0; u < 20000; u++ {
+		tk.Update(rng.Intn(500), uint64(1+rng.Intn(50)))
+		if u%1000 != 0 {
+			continue
+		}
+		// Heap invariant plus index-map consistency.
+		for i := 1; i < tk.Len(); i++ {
+			if tk.items[(i-1)/2].Count > tk.items[i].Count {
+				t.Fatalf("heap violated at %d after %d updates", i, u)
+			}
+		}
+		for key, pos := range tk.idx {
+			if tk.items[pos].Key != key {
+				t.Fatalf("idx desync for key %d", key)
+			}
+		}
+	}
+}
+
+func TestTopKLatencyAggregate(t *testing.T) {
+	tk := NewTopK[string](8)
+	tk.UpdateLat("akl→lon", 1, 120)
+	tk.UpdateLat("akl→lon", 1, 80)
+	tk.UpdateLat("akl→lon", 1, 100)
+	top := tk.Top(nil, 1)
+	lat := top[0].Lat
+	if lat.Count != 3 || lat.Min != 80 || lat.Max != 120 || lat.Sum != 300 {
+		t.Fatalf("aggregate = %+v", lat)
+	}
+}
+
+func TestTopKSteadyStateNoAlloc(t *testing.T) {
+	tk := NewTopK[uint64](64)
+	for i := uint64(0); i < 64; i++ {
+		tk.Update(i, i+1)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tk.Update(7, 3)          // tracked-key fast path
+		tk.Update(1_000_000, 1)  // replace-min path
+		tk.UpdateLat(8, 1, 42.0) // tracked with aggregate
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Update allocates %.1f/op", allocs)
+	}
+}

@@ -12,6 +12,8 @@
 //	                       resolution parameter selects raw vs rollup tiers
 //	GET  /api/tags       — distinct tag values for dashboard pickers
 //	GET  /api/arcs       — recent arcs for the 3D map (JSON)
+//	GET  /api/topk       — sketch-tier heavy hitters (flows, prefixes,
+//	                       city pairs); 409 without -flow-table-bytes
 //	GET  /api/anomalies  — latency-spike, SYN-flood and surge events
 //	POST /api/checkpoint — force a durable checkpoint + WAL truncation
 //	POST /write          — Influx line-protocol ingest
@@ -47,6 +49,7 @@ func NewServer(p *ruru.Pipeline) *Server {
 	s.mux.HandleFunc("GET /api/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/tags", s.handleTags)
 	s.mux.HandleFunc("GET /api/arcs", s.handleArcs)
+	s.mux.HandleFunc("GET /api/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /api/anomalies", s.handleAnomalies)
 	s.mux.HandleFunc("POST /api/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /write", s.handleWrite)
@@ -221,6 +224,75 @@ func (s *Server) handleArcs(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+// topkEntry is one /api/topk item. Count is an overestimate of the key's
+// true total by at most Err (flow/prefix: bytes; city_pair: measurements);
+// Count-Err is a guaranteed lower bound. Lat is only present for city_pair.
+type topkEntry struct {
+	Key   string  `json:"key"`
+	Count uint64  `json:"count"`
+	Err   uint64  `json:"err"`
+	Lat   *latAgg `json:"lat_ms,omitempty"`
+}
+
+// latAgg summarizes handshake latency (milliseconds) over the entry's
+// tenure in the summary.
+type latAgg struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// handleTopK: /api/topk?key=flow|prefix|city_pair&n=10 — heavy hitters from
+// the bounded-memory sketch tier. 409 when the tier is not enabled.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !s.p.SketchEnabled() {
+		httpError(w, http.StatusConflict, "sketch tier not enabled (start with -flow-table-bytes)")
+		return
+	}
+	q := r.URL.Query()
+	n, err := parseInt(q.Get("n"), 10)
+	if err != nil || n < 0 {
+		httpError(w, http.StatusBadRequest, "bad n")
+		return
+	}
+	key := q.Get("key")
+	if key == "" {
+		key = "flow"
+	}
+	var items []topkEntry
+	switch key {
+	case "flow":
+		for _, it := range s.p.TopFlows(int(n)) {
+			items = append(items, topkEntry{Key: it.Key.String(), Count: it.Count, Err: it.Err})
+		}
+	case "prefix":
+		for _, it := range s.p.TopPrefixes(int(n)) {
+			items = append(items, topkEntry{Key: it.Key.String(), Count: it.Count, Err: it.Err})
+		}
+	case "city_pair":
+		for _, it := range s.p.TopPairs(int(n)) {
+			e := topkEntry{Key: it.Key, Count: it.Count, Err: it.Err}
+			if it.Lat.Count > 0 {
+				e.Lat = &latAgg{
+					Count: it.Lat.Count,
+					Mean:  it.Lat.Sum / float64(it.Lat.Count),
+					Min:   it.Lat.Min,
+					Max:   it.Lat.Max,
+				}
+			}
+			items = append(items, e)
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "bad key (want flow, prefix or city_pair)")
+		return
+	}
+	if items == nil {
+		items = []topkEntry{}
+	}
+	writeJSON(w, map[string]any{"key": key, "items": items})
 }
 
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
