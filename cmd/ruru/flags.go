@@ -42,6 +42,10 @@ type options struct {
 	// exact flow-table entry (see ruru.Config.FlowTableBytes).
 	flowTableBytes int64
 
+	// queryCacheBytes is the TSDB query result cache budget; 0 disables
+	// the cache (see ruru.Config.QueryCacheBytes).
+	queryCacheBytes int64
+
 	// Continuous-RTT trackers: -timestamps (TSval/TSecr echo pairing),
 	// -track-seq (data→ACK sequence matching + loss classification) and
 	// -one-direction (asymmetric-tap self-pairing; implies -track-seq in
@@ -86,6 +90,7 @@ func parseFlags(name string, args []string, hostname func() (string, error)) (*o
 		sinkBatch  = fs.Int("sink-batch", 64, "max measurements per sink wakeup / WebSocket broadcast frame")
 		dbStripes  = fs.Int("db-stripes", 8, "TSDB lock stripes (1 = single global write lock)")
 		flowBytes  = fs.String("flow-table-bytes", "", "hard byte cap on all per-flow state, enabling the bounded-memory sketch tier: elephants keep exact records, mice live sketch-only past the cap (size suffixes K/M/G/T, e.g. 64M; empty or 0 = exact-only)")
+		qcBytes    = fs.String("query-cache-bytes", "16M", "TSDB query result cache budget: repeated dashboard queries are served from cached tier aggregates with incremental tail refresh, bit-exact with uncached execution (size suffixes K/M/G/T; 0 = no cache)")
 		rollup     = fs.String("rollup", "default", `TSDB rollup tiers, "width[:retention],..." (e.g. "1s:2h,10s:24h,1m:168h"; retention 0 = keep forever), "default" for the 1s/10s/1m ladder, "off" to disable`)
 		dataDir    = fs.String("data-dir", "", "durable TSDB storage in this directory (WAL + checkpoints, restored on start); empty = in-memory")
 		fsyncMode  = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always (durable before a write returns), interval (background fsync, default), off (OS page cache only)")
@@ -121,6 +126,9 @@ func parseFlags(name string, args []string, hostname func() (string, error)) (*o
 	}
 	if o.flowTableBytes, err = parseBytes(*flowBytes); err != nil {
 		return nil, fmt.Errorf("bad -flow-table-bytes: %v", err)
+	}
+	if o.queryCacheBytes, err = parseBytes(*qcBytes); err != nil {
+		return nil, fmt.Errorf("bad -query-cache-bytes: %v", err)
 	}
 
 	var fsync tsdb.FsyncPolicy

@@ -157,8 +157,36 @@ func TestFlagParsing(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "query cache defaults to 16MiB",
+			args: nil,
+			check: func(t *testing.T, o *options) {
+				if o.queryCacheBytes != 16<<20 {
+					t.Errorf("queryCacheBytes = %d, want 16MiB", o.queryCacheBytes)
+				}
+			},
+		},
+		{
+			name: "query cache sized and disabled",
+			args: []string{"-query-cache-bytes", "0"},
+			check: func(t *testing.T, o *options) {
+				if o.queryCacheBytes != 0 {
+					t.Errorf("queryCacheBytes = %d, want 0 (disabled)", o.queryCacheBytes)
+				}
+			},
+		},
+		{
+			name: "query cache with suffix",
+			args: []string{"-query-cache-bytes", "64M"},
+			check: func(t *testing.T, o *options) {
+				if o.queryCacheBytes != 64<<20 {
+					t.Errorf("queryCacheBytes = %d, want 64MiB", o.queryCacheBytes)
+				}
+			},
+		},
 		{name: "unknown flag", args: []string{"-no-such-flag"}, wantErr: "not defined"},
 		{name: "bad flow table cap", args: []string{"-flow-table-bytes", "lots"}, wantErr: "bad -flow-table-bytes"},
+		{name: "bad query cache", args: []string{"-query-cache-bytes", "much"}, wantErr: "bad -query-cache-bytes"},
 		{name: "bad overflow", args: []string{"-overflow", "spill"}, wantErr: "unknown -overflow"},
 		{name: "bad fsync", args: []string{"-fsync", "sometimes"}, wantErr: "unknown -fsync"},
 		{name: "bad mode", args: []string{"-mode", "relay"}, wantErr: "unknown -mode"},

@@ -63,6 +63,7 @@ func main() {
 		TrackSeq:        opt.trackSeq,
 		OneDirection:    opt.oneDir,
 		FlowTableBytes:  opt.flowTableBytes,
+		QueryCacheBytes: opt.queryCacheBytes,
 		SinkWorkers:     opt.sinkWk,
 		SinkBatch:       opt.sinkBatch,
 		DBStripes:       opt.dbStripes,

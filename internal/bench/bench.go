@@ -11,12 +11,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"net/netip"
 	"runtime"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"ruru/internal/analytics"
 	"ruru/internal/core"
 	"ruru/internal/experiments"
 	"ruru/internal/gen"
@@ -24,8 +28,10 @@ import (
 	"ruru/internal/nic"
 	"ruru/internal/pkt"
 	"ruru/internal/rss"
+	"ruru/internal/ruru"
 	"ruru/internal/sketch"
 	"ruru/internal/tsdb"
+	"ruru/internal/ws"
 )
 
 // Schema is the BENCH_*.json format version.
@@ -71,6 +77,8 @@ func Specs() []Spec {
 		{Name: "db/write-batch-ref-steady", F: benchDBWriteBatchRefSteady},
 		{Name: "wal/write-interval", F: benchWALWrite},
 		{Name: "query/rollup", F: benchRollupQuery},
+		{Name: "query/cached", F: benchCachedQuery},
+		{Name: "ws/delta-broadcast", F: benchDeltaBroadcast},
 		{Name: "sketch/update", F: benchSketchUpdate},
 		{Name: "sketch/topk", F: benchSketchTopK},
 	}
@@ -525,6 +533,125 @@ func benchRollupQuery(b *testing.B) {
 			b.Fatalf("got %d groups", len(res))
 		}
 	}
+}
+
+// benchCachedQuery: the live-dashboard read path through the query result
+// cache — the same advancing-window shape BenchmarkQueryCached pins at
+// ≥10× over uncached tier execution, tracked here release over release.
+// Each op re-issues a 10-minute window advanced by one 10s bucket, so
+// steady state is one cache hit plus an incremental tail refresh.
+func benchCachedQuery(b *testing.B) {
+	db := tsdb.Open(tsdb.Options{
+		ShardDuration: 60e9,
+		Rollups:       []tsdb.RollupTier{{Width: 1e9}},
+		QueryCache:    16 << 20,
+	})
+	cities := []string{"Auckland", "Wellington", "Sydney", "Tokyo"}
+	refs := make([]tsdb.SeriesRef, len(cities))
+	for i, c := range cities {
+		ref, err := db.Ref("latency",
+			[]tsdb.Tag{{Key: "src_city", Value: c}, {Key: "dst_city", Value: "Los Angeles"}},
+			"total_ms")
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	// 1200s of data at 4 series × 10 points/s.
+	const span = int64(1200e9)
+	batch := make([]tsdb.RefPoint, 0, 256)
+	vals := make([]float64, 0, 256)
+	for i := int64(0); i < span/1e8; i++ {
+		vals = append(vals, float64(1+i%997))
+		batch = append(batch, tsdb.RefPoint{
+			Ref: refs[i%int64(len(refs))], Time: i * 1e8,
+			Vals: vals[len(vals)-1 : len(vals) : len(vals)],
+		})
+		if len(batch) == cap(batch) {
+			if _, err := db.WriteBatchRef(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch, vals = batch[:0], vals[:0]
+		}
+	}
+	const (
+		window   = int64(10e9)
+		lookback = int64(600e9)
+	)
+	q := tsdb.Query{
+		Measurement: "latency", Field: "total_ms",
+		Window: window, GroupBy: "src_city",
+		Aggs: []tsdb.AggKind{tsdb.AggCount, tsdb.AggMean, tsdb.AggP95},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * window) % (span - lookback)
+		q.Start, q.End = off, off+lookback
+		res, err := db.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(cities) {
+			b.Fatalf("got %d groups", len(res))
+		}
+	}
+}
+
+// benchDeltaBroadcast: the rollup-stream read side — fold a 64-measurement
+// burst over 16 city pairs into the delta accumulator, coalesce it into one
+// frame and broadcast to 8 /ws?stream=rollup clients. The whole per-op cost
+// is independent of the client count except for the final per-client queue
+// push, which is the point of the delta feed.
+func benchDeltaBroadcast(b *testing.B) {
+	hub := ws.NewHub(1 << 16)
+	defer hub.Close()
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+	url := "ws://" + strings.TrimPrefix(srv.URL, "http://") + "/?stream=rollup"
+	for i := 0; i < 8; i++ {
+		c, err := ws.Dial(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		go func() {
+			for {
+				if _, _, err := c.ReadMessage(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for hub.RollupClients() < 8 {
+		time.Sleep(time.Millisecond)
+	}
+	d := ruru.NewRollupDelta(1e9)
+	const burst = 64
+	srcs := []string{"Auckland", "Wellington", "Sydney", "Tokyo"}
+	dsts := []string{"Los Angeles", "London", "Tokyo", "Frankfurt"}
+	events := make([]analytics.Enriched, burst)
+	for i := range events {
+		events[i] = analytics.Enriched{
+			TotalNs: int64(145e6 + i*1e6),
+			Src:     analytics.Endpoint{City: srcs[i%len(srcs)]},
+			Dst:     analytics.Endpoint{City: dsts[(i/len(srcs))%len(dsts)]},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t int64
+	for i := 0; i < b.N; i++ {
+		for j := range events {
+			t += 15625000 // 64 events/s of data time
+			events[j].Time = t
+			d.Add(&events[j])
+		}
+		if frame := d.Flush(); frame != nil {
+			hub.BroadcastRollup(frame)
+		}
+	}
+	b.ReportMetric(float64(b.N)*burst/b.Elapsed().Seconds(), "events/s")
 }
 
 func reportPPS(b *testing.B, pointsPerOp int) {

@@ -21,7 +21,14 @@ package lint
 //     run outside the cell).
 //   - ruru: Pipeline.pairTopMu (the sketch tier's city-pair summary) is
 //     strictly leaf: sink workers and /api/topk readers take it for a
-//     bounded heap update or copy and may acquire nothing under it.
+//     bounded heap update or copy and may acquire nothing under it. The
+//     same goes for RollupDelta.mu (the /ws?stream=rollup accumulator):
+//     sink workers fold cells and the flusher swaps the map under it,
+//     marshalling outside.
+//   - tsdb query cache: queryCache.mu guards only the entry table, LRU
+//     list and byte ledger. It is strictly leaf and in particular is never
+//     held across a stripe scan — executeCached copies the entry pointer
+//     out, scans lock-free, and re-acquires to publish.
 func RepoLockOrder() *LockOrderSpec {
 	return &LockOrderSpec{
 		Classes: []LockClass{
@@ -31,11 +38,13 @@ func RepoLockOrder() *LockOrderSpec {
 			{ID: "tsdb.dirMu", Type: "ruru/internal/tsdb.DB", Field: "dirMu"},
 			{ID: "tsdb.walSyncMu", Type: "ruru/internal/tsdb.wal", Field: "syncMu"},
 			{ID: "tsdb.walMu", Type: "ruru/internal/tsdb.wal", Field: "mu"},
+			{ID: "tsdb.qcacheMu", Type: "ruru/internal/tsdb.queryCache", Field: "mu"},
 			{ID: "fed.aggMu", Type: "ruru/internal/fed.Aggregator", Field: "mu"},
 			{ID: "fed.aggProbeMu", Type: "ruru/internal/fed.aggProbe", Field: "mu"},
 			{ID: "fed.probeMu", Type: "ruru/internal/fed.Probe", Field: "mu"},
 			{ID: "core.statsCellMu", Type: "ruru/internal/core.statsCell", Field: "mu"},
 			{ID: "ruru.pairTopMu", Type: "ruru/internal/ruru.Pipeline", Field: "pairTopMu"},
+			{ID: "ruru.rollupDeltaMu", Type: "ruru/internal/ruru.RollupDelta", Field: "mu"},
 		},
 		Order: [][2]string{
 			{"tsdb.ckptMu", "tsdb.commitMu"},
@@ -55,6 +64,7 @@ func RepoMustCheck() *MustCheckSpec {
 		"(*ruru/internal/tsdb.DB).WriteBatch",
 		"(*ruru/internal/tsdb.DB).WriteBatchRef",
 		"(*ruru/internal/tsdb.DB).Checkpoint",
+		"(*ruru/internal/tsdb.DB).Snapshot",
 		"(*ruru/internal/tsdb.wal).appendRecord",
 		"(*ruru/internal/tsdb.wal).AppendPoint",
 		"(*ruru/internal/tsdb.wal).AppendPoints",

@@ -1,0 +1,150 @@
+package ruru
+
+// delta.go — the rollup-delta accumulator behind /ws?stream=rollup.
+//
+// The live WebSocket feed scales O(measurements × clients): every enriched
+// event is marshalled into a frame and queued for every connected browser,
+// which is exactly the paper's firehose and exactly what falls over first
+// when a wall of dashboards connects. Rollup-stream clients instead receive
+// *pre-aggregated deltas*: sink workers fold each measurement into a
+// per-(city-pair, time-bucket) cell, and a flusher coalesces everything
+// accumulated over the flush interval into one frame for the whole rollup
+// audience — O(buckets touched) per interval, independent of both the event
+// rate and the client count. A client reconstructs the same per-pair tier
+// state the TSDB's finest rollup holds by summing cells: deltas carry
+// count/sum (additive) and min/max (monotone under merge), so
+// incremental application is exact.
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ruru/internal/analytics"
+)
+
+// deltaKey identifies one accumulation cell: a city pair and the start of
+// its time bucket (data clock, ns).
+type deltaKey struct {
+	pair  string
+	start int64
+}
+
+// deltaCell is the increment accumulated for one key since the last flush.
+type deltaCell struct {
+	src, dst string
+	count    uint64
+	sum      float64 // ms
+	min, max float64 // ms
+}
+
+// RollupBucket is one cell of a rollup-delta frame, JSON-shaped for the
+// dashboard. Count/SumMs add across frames; MinMs/MaxMs merge by min/max.
+type RollupBucket struct {
+	Pair    string  `json:"pair"`
+	SrcCity string  `json:"src_city"`
+	DstCity string  `json:"dst_city"`
+	Start   int64   `json:"start"`
+	Count   uint64  `json:"count"`
+	SumMs   float64 `json:"sum_ms"`
+	MinMs   float64 `json:"min_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// RollupFrame is the wire form of one flush: every cell touched since the
+// previous frame, sorted by (pair, start).
+type RollupFrame struct {
+	Stream  string         `json:"stream"` // always "rollup"
+	Width   int64          `json:"width"`  // bucket width, ns
+	Buckets []RollupBucket `json:"buckets"`
+}
+
+// RollupDelta accumulates per-(pair, bucket) measurement increments between
+// flushes. Safe for concurrent use: sink workers Add under an internal
+// mutex (a leaf lock — nothing else is ever acquired under it), the flusher
+// swaps the cell map out under the same lock and marshals outside it.
+type RollupDelta struct {
+	width int64
+
+	mu    sync.Mutex
+	cells map[deltaKey]*deltaCell
+
+	frames atomic.Uint64 // frames flushed (non-empty only)
+	fcells atomic.Uint64 // cells carried by those frames
+}
+
+// NewRollupDelta creates an accumulator with the given bucket width in
+// nanoseconds (default 1s — the TSDB ladder's finest standard tier).
+func NewRollupDelta(width int64) *RollupDelta {
+	if width <= 0 {
+		width = 1e9
+	}
+	return &RollupDelta{width: width, cells: make(map[deltaKey]*deltaCell)}
+}
+
+// Width returns the accumulator's bucket width in nanoseconds.
+func (d *RollupDelta) Width() int64 { return d.width }
+
+// Add folds one measurement into its cell.
+func (d *RollupDelta) Add(e *analytics.Enriched) {
+	ms := float64(e.TotalNs) / 1e6
+	k := deltaKey{pair: pairKey(e), start: (e.Time / d.width) * d.width}
+	d.mu.Lock()
+	c := d.cells[k]
+	if c == nil {
+		c = &deltaCell{src: e.Src.City, dst: e.Dst.City, min: ms, max: ms}
+		d.cells[k] = c
+	} else {
+		if ms < c.min {
+			c.min = ms
+		}
+		if ms > c.max {
+			c.max = ms
+		}
+	}
+	c.count++
+	c.sum += ms
+	d.mu.Unlock()
+}
+
+// Flush drains every accumulated cell into one marshalled frame, returning
+// nil when nothing accumulated since the last flush (no frame owed).
+func (d *RollupDelta) Flush() []byte {
+	d.mu.Lock()
+	if len(d.cells) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	cells := d.cells
+	d.cells = make(map[deltaKey]*deltaCell, len(cells))
+	d.mu.Unlock()
+
+	frame := RollupFrame{Stream: "rollup", Width: d.width,
+		Buckets: make([]RollupBucket, 0, len(cells))}
+	for k, c := range cells {
+		frame.Buckets = append(frame.Buckets, RollupBucket{
+			Pair: k.pair, SrcCity: c.src, DstCity: c.dst, Start: k.start,
+			Count: c.count, SumMs: c.sum, MinMs: c.min, MaxMs: c.max,
+		})
+	}
+	sort.Slice(frame.Buckets, func(i, j int) bool {
+		a, b := &frame.Buckets[i], &frame.Buckets[j]
+		if a.Pair != b.Pair {
+			return a.Pair < b.Pair
+		}
+		return a.Start < b.Start
+	})
+	data, err := json.Marshal(frame)
+	if err != nil {
+		return nil
+	}
+	d.frames.Add(1)
+	d.fcells.Add(uint64(len(frame.Buckets)))
+	return data
+}
+
+// Stats returns (frames flushed, total cells carried by them).
+func (d *RollupDelta) Stats() (frames, cells uint64) {
+	return d.frames.Load(), d.fcells.Load()
+}

@@ -119,8 +119,21 @@ type Config struct {
 	// knobs and docs/OPERATIONS.md for tuning guidance.
 	Persist tsdb.PersistOptions
 
+	// QueryCacheBytes, when > 0, enables the TSDB's query result cache with
+	// that byte budget (LRU, bit-exact with uncached execution, incremental
+	// tail refresh for advancing dashboard windows — see tsdb.Options).
+	// Zero disables caching.
+	QueryCacheBytes int64
+
 	// HubQueue is the per-WebSocket-client queue depth (default 256).
 	HubQueue int
+
+	// RollupStreamWidth is the bucket width (ns) of the /ws?stream=rollup
+	// delta feed (default 1s, matching the standard ladder's finest tier).
+	RollupStreamWidth int64
+	// RollupStreamInterval is how often accumulated rollup deltas are
+	// coalesced into one frame for the rollup audience (default 250ms).
+	RollupStreamInterval time.Duration
 
 	// Detector configs (defaults applied by the anomaly package).
 	Spike anomaly.SpikeConfig
@@ -208,6 +221,7 @@ type Pipeline struct {
 	Enricher *analytics.Enricher // geo/AS enrichment worker pool
 	DB       *tsdb.DB            // embedded TSDB (queries, snapshot, rollups)
 	Hub      *ws.Hub             // WebSocket fan-out to live frontends
+	Delta    *RollupDelta        // rollup-delta accumulator behind /ws?stream=rollup
 
 	Spikes *anomaly.SpikeBank     // per-city-pair latency spike detectors
 	Flood  *anomaly.FloodDetector // SYN-flood detector (expiry-fed)
@@ -381,11 +395,13 @@ func New(cfg Config) (*Pipeline, error) {
 	p.DB, err = tsdb.OpenDB(tsdb.Options{
 		ShardDuration: cfg.ShardDuration, Retention: cfg.Retention,
 		Stripes: cfg.DBStripes, Rollups: cfg.Rollups, Persist: persist,
+		QueryCache: cfg.QueryCacheBytes,
 	})
 	if err != nil {
 		return nil, err
 	}
 	p.Hub = ws.NewHub(cfg.HubQueue)
+	p.Delta = NewRollupDelta(cfg.RollupStreamWidth)
 	p.sinkShards = make([]*sinkShard, cfg.SinkWorkers)
 	for i := range p.sinkShards {
 		p.sinkShards[i] = &sinkShard{
@@ -549,6 +565,11 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		defer wg.Done()
 		p.runSinkDispatcher(ctx)
 	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.runRollupFlusher(ctx)
+	}()
 	for _, sh := range p.sinkShards {
 		go func(sh *sinkShard) {
 			defer wg.Done()
@@ -564,6 +585,36 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	}
 	wg.Wait()
 	return ctx.Err()
+}
+
+// runRollupFlusher coalesces accumulated rollup deltas into one frame per
+// interval for the rollup-stream audience. A final flush on shutdown is
+// deliberately skipped: the Hub is closing with the pipeline anyway.
+func (p *Pipeline) runRollupFlusher(ctx context.Context) {
+	iv := p.cfg.RollupStreamInterval
+	if iv <= 0 {
+		iv = 250 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.FlushRollupStream()
+		}
+	}
+}
+
+// FlushRollupStream immediately coalesces accumulated rollup deltas into
+// one frame and broadcasts it to the rollup-stream audience (no-op when
+// nothing accumulated). Called by the interval flusher; exported for
+// end-of-trace harnesses that want the tail without waiting an interval.
+func (p *Pipeline) FlushRollupStream() {
+	if data := p.Delta.Flush(); data != nil {
+		p.Hub.BroadcastRollup(data)
+	}
 }
 
 // SpikeEvents returns latency-spike detections so far.
@@ -615,7 +666,13 @@ type Stats struct {
 	BusDrop  uint64
 	HubSent  uint64
 	HubDrop  uint64
-	DBPoints uint64
+	// RollupFrames counts coalesced delta frames broadcast to the
+	// /ws?stream=rollup audience and RollupCells the per-(pair, bucket)
+	// cells they carried — the read-side cost of the rollup feed, which is
+	// O(cells per interval) regardless of event rate or client count.
+	RollupFrames uint64
+	RollupCells  uint64
+	DBPoints     uint64
 	// DBDropped counts points the TSDB refused at write time because they
 	// were older than the retention horizon (previously discarded from
 	// the snapshot entirely).
@@ -649,6 +706,9 @@ type Stats struct {
 	// held sketch-only because the byte cap was reached, the induced error
 	// bound, and the live/fixed byte accounting against the budget.
 	Sketch core.SketchStats
+	// QueryCache reports the TSDB query result cache counters. Zero value
+	// with Enabled=false when Config.QueryCacheBytes is unset.
+	QueryCache tsdb.CacheStats
 	// Persist reports the TSDB durability counters (WAL appends/fsyncs,
 	// what the last restart recovered, checkpoint age). Zero value with
 	// Enabled=false when Config.Persist is unset.
@@ -668,6 +728,7 @@ type Stats struct {
 func (p *Pipeline) Stats() Stats {
 	pub, drop := p.Bus.Stats()
 	sent, hdrop := p.Hub.Stats()
+	rframes, rcells := p.Delta.Stats()
 	written, dbDropped := p.DB.WriteStats()
 	queues := make([]nic.QueueStats, p.Port.NumQueues())
 	for q := range queues {
@@ -690,6 +751,8 @@ func (p *Pipeline) Stats() Stats {
 		BusDrop:          drop,
 		HubSent:          sent,
 		HubDrop:          hdrop,
+		RollupFrames:     rframes,
+		RollupCells:      rcells,
 		DBPoints:         written,
 		DBDropped:        dbDropped,
 		SinkDecodeErrors: p.sinkDecodeErrors.Load(),
@@ -701,6 +764,7 @@ func (p *Pipeline) Stats() Stats {
 		TSRTT:            p.Engine.TSStats(),
 		Seq:              p.Engine.SeqStats(),
 		Sketch:           p.Engine.SketchStats(),
+		QueryCache:       p.DB.CacheStats(),
 		Persist:          p.DB.PersistStats(),
 		Remote:           remote,
 		Fed:              agg,

@@ -179,7 +179,7 @@ func (p *Pipeline) writeSinkBatch(sh *sinkShard, batch []sinkItem) {
 func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
 	p.writeSinkBatch(sh, batch)
 
-	if p.Hub.Clients() > 0 {
+	if p.Hub.LiveClients() > 0 {
 		sh.mu.Lock()
 		frame := sh.frameBuf[:0]
 		for i := range batch {
@@ -192,6 +192,15 @@ func (p *Pipeline) consumeBatch(sh *sinkShard, batch []sinkItem) {
 			// data is freshly allocated per call — the Hub retains it in
 			// client queues, so only the frame scratch is reusable.
 			p.Hub.Broadcast(data)
+		}
+	}
+
+	if p.Hub.RollupClients() > 0 {
+		// Rollup-stream audience: fold the burst into per-(pair, bucket)
+		// delta cells instead of marshalling events — the flusher coalesces
+		// everything into one frame per interval for all rollup clients.
+		for i := range batch {
+			p.Delta.Add(&batch[i].e)
 		}
 	}
 
@@ -270,7 +279,7 @@ func (p *Pipeline) Feed(e *analytics.Enriched) {
 	if err := p.DB.Write(&pt); err != nil {
 		p.sinkWriteErrors.Add(1)
 	}
-	if p.Hub.Clients() > 0 {
+	if p.Hub.LiveClients() > 0 {
 		// Reuse the shard's frame buffer under its lock instead of
 		// marshalling a fresh one-element slice per call; the marshalled
 		// bytes stay per-call (the Hub retains them).
@@ -281,6 +290,9 @@ func (p *Pipeline) Feed(e *analytics.Enriched) {
 		if err == nil {
 			p.Hub.Broadcast(data)
 		}
+	}
+	if p.Hub.RollupClients() > 0 {
+		p.Delta.Add(e)
 	}
 	p.offerDetectors(e, pair)
 	if p.pairTop != nil {

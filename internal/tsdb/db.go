@@ -33,6 +33,12 @@ type Options struct {
 	// Requires OpenDB: enabling persistence can fail with I/O errors that
 	// the error-free Open cannot report. Nil keeps the DB in-memory.
 	Persist *PersistOptions
+	// QueryCache, when > 0, bounds a shape-keyed result cache in front of
+	// Execute in bytes (LRU-evicted; see qcache.go). Repeated dashboard
+	// queries whose window merely advanced re-aggregate only the buckets
+	// past the cached high-water mark; results stay bit-exact with an
+	// uncached Execute. Zero disables the cache.
+	QueryCache int64
 }
 
 // DB is the time-series database. Safe for concurrent use. Writes to
@@ -55,6 +61,11 @@ type DB struct {
 	closed     atomic.Bool
 	written    atomic.Uint64
 	dropped    atomic.Uint64 // points dropped by retention at write time
+
+	// qcache is the Execute result cache (nil unless Options.QueryCache).
+	// The write paths notify it of backfills (points older than the frozen
+	// slack) so served frozen buckets provably describe unchanged data.
+	qcache *queryCache
 
 	// Durability (nil / uncontended on in-memory databases). Writers hold
 	// commitMu.RLock from their WAL append through their in-memory apply;
@@ -191,6 +202,9 @@ func OpenDB(opts Options) (*DB, error) {
 		}
 	}
 	db.sweptShard.Store(math.MinInt64)
+	if opts.QueryCache > 0 {
+		db.qcache = newQueryCache(opts.QueryCache)
+	}
 	db.byKey = make(map[string]*seriesIdent)
 	db.refByKey = make(map[string]SeriesRef)
 	db.dir.Store(&seriesDir{})
@@ -384,6 +398,7 @@ func (db *DB) writeLocked(st *stripe, p *Point, key []byte, maxT int64) {
 	if db.opts.Retention > 0 && p.Time < maxT-db.opts.Retention {
 		db.dropped.Add(1)
 		db.enforceRetentionLocked(st, maxT)
+		db.noteBackfill(p.Time, maxT) // tiers may still have absorbed it
 		return
 	}
 	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
@@ -418,6 +433,7 @@ func (db *DB) writeLocked(st *stripe, p *Point, key []byte, maxT int64) {
 	}
 	db.written.Add(1)
 	db.enforceRetentionLocked(st, maxT)
+	db.noteBackfill(p.Time, maxT)
 }
 
 // shardAt returns st's raw shard starting at start, creating it if absent.

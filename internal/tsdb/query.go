@@ -151,6 +151,11 @@ func (db *DB) Execute(q Query) ([]SeriesResult, error) {
 	if ti, err := db.planTier(&q, window); err != nil {
 		return nil, err
 	} else if ti >= 0 {
+		if db.qcache != nil {
+			if res, ok := db.executeCached(&q, window, nBuckets, ti); ok {
+				return res, nil
+			}
+		}
 		return db.executeTier(&q, window, nBuckets, ti)
 	}
 

@@ -363,6 +363,7 @@ func (db *DB) writeRefLocked(st *stripe, rs *refState, p *RefPoint, maxT int64) 
 	if db.opts.Retention > 0 && p.Time < maxT-db.opts.Retention {
 		db.dropped.Add(1)
 		db.enforceRetentionLocked(st, maxT)
+		db.noteBackfill(p.Time, maxT) // tiers may still have absorbed it
 		return
 	}
 	start := floorDiv(p.Time, db.opts.ShardDuration) * db.opts.ShardDuration
@@ -387,6 +388,7 @@ func (db *DB) writeRefLocked(st *stripe, rs *refState, p *RefPoint, maxT int64) 
 	}
 	db.written.Add(1)
 	db.enforceRetentionLocked(st, maxT)
+	db.noteBackfill(p.Time, maxT)
 }
 
 // resolveRefRaw points the ref's hot cache at the raw shard starting at

@@ -18,7 +18,9 @@
 //	POST /api/checkpoint — force a durable checkpoint + WAL truncation
 //	POST /write          — Influx line-protocol ingest
 //	GET  /snapshot       — full TSDB dump as line protocol
-//	GET  /ws             — WebSocket live measurement feed (JSON arrays)
+//	GET  /ws             — WebSocket live measurement feed (JSON arrays);
+//	                       ?stream=rollup switches the client to coalesced
+//	                       rollup-delta frames (see docs/API.md)
 package web
 
 import (
@@ -26,9 +28,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ruru/internal/anomaly"
@@ -40,6 +44,13 @@ import (
 type Server struct {
 	p   *ruru.Pipeline
 	mux *http.ServeMux
+
+	// snapshotErrors counts /snapshot responses that failed mid-stream
+	// (client gone, or a stripe dump error). The failure is also reported
+	// in-band via the Ruru-Snapshot-Error trailer — the status line is long
+	// sent by then — so a piped `curl | restore` can tell a truncated dump
+	// from a complete one.
+	snapshotErrors atomic.Uint64
 }
 
 // NewServer builds the handler around p.
@@ -63,9 +74,21 @@ func NewServer(p *ruru.Pipeline) *Server {
 // a real InfluxDB) to restore. The dump is staged per stripe before any
 // byte reaches the client, so a slow (or adversarially stalled) consumer
 // cannot hold TSDB locks and stall ingest.
+// Completeness is reported in trailers (set after the body): a successful
+// dump carries Ruru-Snapshot-Points, a failed one Ruru-Snapshot-Error plus
+// a bump of the stats counter — the old code dropped both return values of
+// DB.Snapshot, so a truncated dump was indistinguishable from a full one.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.p.DB.Snapshot(w)
+	w.Header().Set("Trailer", "Ruru-Snapshot-Points, Ruru-Snapshot-Error")
+	points, err := s.p.DB.Snapshot(w)
+	if err != nil {
+		s.snapshotErrors.Add(1)
+		log.Printf("web: snapshot aborted after %d points: %v", points, err)
+		w.Header().Set("Ruru-Snapshot-Error", err.Error())
+		return
+	}
+	w.Header().Set("Ruru-Snapshot-Points", strconv.FormatInt(points, 10))
 }
 
 // handleCheckpoint forces a durable checkpoint: an atomic snapshot file
@@ -105,8 +128,20 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// webStats is the HTTP layer's own counter section of /api/stats, reported
+// alongside the flattened pipeline counters under the "web" key.
+type webStats struct {
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.p.Stats())
+	writeJSON(w, struct {
+		ruru.Stats
+		Web webStats `json:"web"`
+	}{
+		Stats: s.p.Stats(),
+		Web:   webStats{SnapshotErrors: s.snapshotErrors.Load()},
+	})
 }
 
 // handleQuery: /api/query?measurement=latency&field=total_ms&start=0&end=1e12
@@ -310,9 +345,18 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 // paper's InfluxDB deployment at this boundary. Returns 204 on full success
 // (Influx convention) or 400 with a per-line error summary.
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	// Read one byte past the limit so an oversized body is detected rather
+	// than silently truncated mid-line (which used to store a partial batch
+	// and corrupt the last point).
+	const writeBodyLimit = 8 << 20
+	body, err := io.ReadAll(io.LimitReader(r.Body, writeBodyLimit+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read error")
+		return
+	}
+	if len(body) > writeBodyLimit {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d byte limit; split the batch", writeBodyLimit))
 		return
 	}
 	var firstErr string
@@ -369,7 +413,17 @@ func parseInt(s string, def int64) (int64, error) {
 	// Accept scientific notation (1e12) for convenience.
 	if strings.ContainsAny(s, "eE.") {
 		f, err := strconv.ParseFloat(s, 64)
-		return int64(f), err
+		if err != nil {
+			return 0, err
+		}
+		// int64(f) is undefined for NaN and values outside int64's range
+		// (the spec leaves the result implementation-defined), so a client
+		// sending end=1e300 must get a 400, not a platform-dependent bound.
+		// Both limits are exact float64s; NaN fails the conjunction too.
+		if !(f >= -9223372036854775808.0 && f < 9223372036854775808.0) {
+			return 0, fmt.Errorf("web: integer parameter %q out of range", s)
+		}
+		return int64(f), nil
 	}
 	return strconv.ParseInt(s, 10, 64)
 }

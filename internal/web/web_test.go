@@ -159,6 +159,9 @@ func TestQueryParamParsing(t *testing.T) {
 		{"equal start/end rejected", "start=10&end=10", http.StatusBadRequest, nil},
 		{"unparseable start", "start=abc&end=10", http.StatusBadRequest, nil},
 		{"unparseable end", "end=abc", http.StatusBadRequest, nil},
+		{"end beyond float range rejected", "end=1e300", http.StatusBadRequest, nil},
+		{"end beyond int64 rejected", "end=1e19", http.StatusBadRequest, nil},
+		{"start below int64 rejected", "start=-1e300&end=10", http.StatusBadRequest, nil},
 		{"unparseable window", "end=10&window=abc", http.StatusBadRequest, nil},
 		{"unknown agg", "end=10&agg=bogus", http.StatusBadRequest, nil},
 		{"where without colon", "end=10&where=nocolon", http.StatusBadRequest, nil},
@@ -529,7 +532,13 @@ func TestParseIntForms(t *testing.T) {
 		ok   bool
 	}{
 		{"", 7, true}, {"123", 123, true}, {"1e9", 1e9, true},
-		{"2.5e9", 25e8, true}, {"abc", 0, false},
+		{"2.5e9", 25e8, true}, {"9e18", 9e18, true}, {"abc", 0, false},
+		// int64(f) is implementation-defined for NaN and floats outside
+		// int64's range, so these must be rejected, not silently mapped
+		// to a platform-dependent bound.
+		{"1e19", 0, false}, {"-1e19", 0, false},
+		{"1e300", 0, false}, {"-1e300", 0, false},
+		{"9.3e18", 0, false}, {"NaN", 0, false},
 	}
 	for _, c := range cases {
 		got, err := parseInt(c.in, 7)
@@ -674,5 +683,277 @@ func TestFederationQueryAndStats(t *testing.T) {
 		if !ps.Connected || ps.LastSeq == 0 || ps.Points != perProbe || ps.LagNs < 0 {
 			t.Fatalf("probe stats: %+v", ps)
 		}
+	}
+}
+
+// TestWriteBodyLimit pins handleWrite's oversize-body contract: a batch
+// over the 8MiB limit is rejected whole with a 413 — the old LimitReader
+// silently truncated the body mid-line, storing a partial batch whose last
+// point was parsed from half a line.
+func TestWriteBodyLimit(t *testing.T) {
+	p, srv := newServer(t)
+
+	// A body of valid lines that crosses the limit: every line would parse,
+	// so only the size check can reject it — proving nothing was ingested.
+	line := "latency,src_city=Sydney,dst_city=Tokyo total_ms=123.5 1000000000\n"
+	lines := (8<<20)/len(line) + 2
+	body := strings.Repeat(line, lines)
+	resp, err := http.Post(srv.URL+"/write", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%s)", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "limit") {
+		t.Fatalf("413 body gives no hint: %s", msg)
+	}
+	if w, _ := p.DB.WriteStats(); w != 0 {
+		t.Fatalf("oversized batch partially ingested: %d points", w)
+	}
+
+	// At the limit exactly (padded with comments) the batch goes through.
+	pad := 8<<20 - len(line)
+	ok := line + "# " + strings.Repeat("x", pad-3) + "\n"
+	if len(ok) != 8<<20 {
+		t.Fatalf("test bug: body is %d bytes", len(ok))
+	}
+	resp, err = http.Post(srv.URL+"/write", "text/plain", strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("at-limit status = %d, want 204", resp.StatusCode)
+	}
+	if w, _ := p.DB.WriteStats(); w != 1 {
+		t.Fatalf("at-limit batch stored %d points, want 1", w)
+	}
+}
+
+// brokenWriter is a ResponseWriter whose client has gone away: every body
+// write fails. Header/WriteHeader behave normally so the handler's trailer
+// bookkeeping is exercised.
+type brokenWriter struct{ hdr http.Header }
+
+func (w *brokenWriter) Header() http.Header       { return w.hdr }
+func (w *brokenWriter) WriteHeader(int)           {}
+func (w *brokenWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestSnapshotCompletionReporting pins the fix for the dropped
+// DB.Snapshot results: a successful dump announces its point count in the
+// Ruru-Snapshot-Points trailer, and a failed one (client disconnect
+// mid-stream) bumps the web.snapshot_errors counter in /api/stats instead
+// of vanishing — previously a truncated dump was indistinguishable from a
+// complete one.
+func TestSnapshotCompletionReporting(t *testing.T) {
+	p, srv := newServer(t)
+	feedSamples(p, 25)
+
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Trailer.Get("Ruru-Snapshot-Points"); got != "25" {
+		t.Fatalf("Ruru-Snapshot-Points trailer = %q, want \"25\" (trailers: %v)", got, resp.Trailer)
+	}
+	if resp.Trailer.Get("Ruru-Snapshot-Error") != "" {
+		t.Fatalf("error trailer on a successful dump: %v", resp.Trailer)
+	}
+	if lines := strings.Count(string(body), "\n"); lines != 25 {
+		t.Fatalf("snapshot has %d lines", lines)
+	}
+
+	// Abort the stream: the handler must count the failure.
+	s := NewServer(p)
+	req := httptest.NewRequest("GET", "/snapshot", nil)
+	bw := &brokenWriter{hdr: make(http.Header)}
+	s.ServeHTTP(bw, req)
+	if got := bw.hdr.Get("Ruru-Snapshot-Error"); got == "" {
+		t.Fatal("aborted dump set no Ruru-Snapshot-Error trailer")
+	}
+	var st struct {
+		Web struct {
+			SnapshotErrors uint64 `json:"snapshot_errors"`
+		} `json:"web"`
+	}
+	// The broken request went through a second Server instance, so query
+	// its stats directly rather than via srv (whose counter is still 0).
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/api/stats", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Web.SnapshotErrors != 1 {
+		t.Fatalf("web.snapshot_errors = %d, want 1", st.Web.SnapshotErrors)
+	}
+
+	// And the original server — no failures — reports zero.
+	var st2 struct {
+		Web struct {
+			SnapshotErrors uint64 `json:"snapshot_errors"`
+		} `json:"web"`
+	}
+	getJSON(t, srv.URL+"/api/stats", &st2)
+	if st2.Web.SnapshotErrors != 0 {
+		t.Fatalf("untouched server reports %d snapshot errors", st2.Web.SnapshotErrors)
+	}
+}
+
+// TestWebSocketRollupDeltaStream is the end-to-end contract for
+// /ws?stream=rollup: delta frames carry per-(city-pair, bucket) increments
+// whose merge (counts and sums add, min/max take extrema) reconstructs the
+// TSDB's 1s tier state exactly, and the live and rollup audiences never
+// see each other's frames.
+func TestWebSocketRollupDeltaStream(t *testing.T) {
+	p, srv := newServer(t)
+	base := "ws://" + strings.TrimPrefix(srv.URL, "http://")
+	live, err := ws.Dial(base + "/ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	rollup, err := ws.Dial(base + "/ws?stream=rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rollup.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Hub.LiveClients() < 1 || p.Hub.RollupClients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never registered: live=%d rollup=%d",
+				p.Hub.LiveClients(), p.Hub.RollupClients())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A rollup client alone must not receive live event frames: everything
+	// it reads is asserted to be a delta frame below, so an interleaved
+	// event array would fail the stream check.
+	type cell struct {
+		count       uint64
+		sum, mn, mx float64
+	}
+	state := map[string]map[int64]*cell{} // pair → bucket start → merged cell
+	readAndMerge := func() {
+		t.Helper()
+		rollup.SetReadDeadline(time.Now().Add(2 * time.Second))
+		op, msg, err := rollup.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != ws.OpText {
+			t.Fatalf("opcode %v", op)
+		}
+		var f ruru.RollupFrame
+		if err := json.Unmarshal(msg, &f); err != nil {
+			t.Fatalf("bad frame: %v (%s)", err, msg)
+		}
+		if f.Stream != "rollup" || f.Width != 1e9 {
+			t.Fatalf("frame header: stream=%q width=%d", f.Stream, f.Width)
+		}
+		for _, b := range f.Buckets {
+			m := state[b.Pair]
+			if m == nil {
+				m = map[int64]*cell{}
+				state[b.Pair] = m
+			}
+			c := m[b.Start]
+			if c == nil {
+				m[b.Start] = &cell{count: b.Count, sum: b.SumMs, mn: b.MinMs, mx: b.MaxMs}
+				continue
+			}
+			c.count += b.Count
+			c.sum += b.SumMs
+			if b.MinMs < c.mn {
+				c.mn = b.MinMs
+			}
+			if b.MaxMs > c.mx {
+				c.mx = b.MaxMs
+			}
+		}
+	}
+
+	// Two identical rounds: the second frame carries pure deltas (the
+	// flusher reset its accumulator), so merging must double the counts
+	// and sums while leaving min/max fixed.
+	for round := 0; round < 2; round++ {
+		feedSamples(p, 40)
+		p.FlushRollupStream()
+		readAndMerge()
+	}
+
+	if len(state) != 1 {
+		t.Fatalf("pairs = %v, want just Auckland→Los Angeles", state)
+	}
+	cells := state["Auckland→Los Angeles"]
+	if cells == nil {
+		t.Fatalf("pair key wrong: %v", state)
+	}
+
+	// The merged client state must reconstruct the TSDB 1s tier exactly.
+	res, err := p.DB.Execute(tsdb.Query{
+		Measurement: "latency", Field: "total_ms",
+		Start: 0, End: 40e9, Window: 1e9,
+		Aggs: []tsdb.AggKind{tsdb.AggCount, tsdb.AggSum, tsdb.AggMin, tsdb.AggMax},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Buckets) != 40 {
+		t.Fatalf("db result shape: %+v", res)
+	}
+	if len(cells) != 40 {
+		t.Fatalf("reconstructed %d buckets, want 40", len(cells))
+	}
+	for _, b := range res[0].Buckets {
+		c := cells[b.Start]
+		if c == nil {
+			t.Fatalf("bucket %d missing from reconstruction", b.Start)
+		}
+		if c.count != uint64(b.Count) || c.sum != b.Aggs[tsdb.AggSum] ||
+			c.mn != b.Aggs[tsdb.AggMin] || c.mx != b.Aggs[tsdb.AggMax] {
+			t.Fatalf("bucket %d: reconstructed %+v, db count=%d aggs=%v",
+				b.Start, *c, b.Count, b.Aggs)
+		}
+	}
+
+	// The live client meanwhile received plain event frames (JSON arrays
+	// of enriched measurements), not deltas.
+	live.SetReadDeadline(time.Now().Add(2 * time.Second))
+	op, msg, err := live.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != ws.OpText {
+		t.Fatalf("live opcode %v", op)
+	}
+	var batch []analytics.Enriched
+	if err := json.Unmarshal(msg, &batch); err != nil {
+		t.Fatalf("live frame not an event array: %v (%s)", err, msg)
+	}
+	if len(batch) == 0 || batch[0].Src.City != "Auckland" {
+		t.Fatalf("live payload: %+v", batch)
+	}
+
+	// Stats surface the broadcast counters and the (disabled) query cache.
+	var st struct {
+		RollupFrames uint64
+		RollupCells  uint64
+		QueryCache   tsdb.CacheStats
+	}
+	getJSON(t, srv.URL+"/api/stats", &st)
+	if st.RollupFrames != 2 || st.RollupCells != 80 {
+		t.Fatalf("rollup stats: frames=%d cells=%d, want 2/80", st.RollupFrames, st.RollupCells)
+	}
+	if st.QueryCache.Enabled {
+		t.Fatal("query cache reported enabled without QueryCacheBytes")
 	}
 }

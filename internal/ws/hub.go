@@ -6,12 +6,24 @@ import (
 	"sync/atomic"
 )
 
+// Stream modes a client can subscribe to via the `stream` query parameter.
+// The zero/default mode receives the per-event live feed; "rollup" receives
+// coalesced rollup-delta frames instead, so a wall of dashboards costs the
+// pipeline O(buckets touched) per flush rather than O(events × clients).
+const (
+	StreamLive   = ""
+	StreamRollup = "rollup"
+)
+
 // Hub broadcasts messages to every connected WebSocket client. Each client
 // has a buffered outbound queue; when a client falls behind by more than its
 // queue depth, messages for it are dropped (counted), so the live map keeps
 // its real-time property no matter how slow an individual browser is —
 // matching the paper's "visualizes multiple thousands of connections per
 // second ... on-the-fly" requirement.
+//
+// Clients subscribe to exactly one stream (StreamLive or StreamRollup);
+// Broadcast reaches the live audience, BroadcastRollup the rollup audience.
 type Hub struct {
 	queue int
 
@@ -19,19 +31,22 @@ type Hub struct {
 	clients map[*hubClient]struct{}
 	closed  bool
 
-	// count mirrors len(clients) so Clients() is lock-free: the pipeline's
-	// sink workers probe it per batch to skip JSON marshalling entirely
-	// when nobody is connected.
-	count atomic.Int64
+	// Per-stream client counts mirror the clients map so the audience
+	// probes are lock-free: the pipeline's sink workers check them per
+	// batch to skip JSON marshalling (live) or delta accumulation (rollup)
+	// entirely when nobody is watching that stream.
+	nLive   atomic.Int64
+	nRollup atomic.Int64
 
 	sent    atomic.Uint64
 	dropped atomic.Uint64
 }
 
 type hubClient struct {
-	conn *Conn
-	ch   chan []byte
-	once sync.Once
+	conn   *Conn
+	ch     chan []byte
+	stream string
+	once   sync.Once
 }
 
 // NewHub creates a hub with the given per-client queue depth (default 256).
@@ -43,12 +58,20 @@ func NewHub(queue int) *Hub {
 }
 
 // ServeHTTP upgrades the request and services the client until it leaves.
+// The `stream` query parameter picks the subscription: absent/empty for the
+// live event feed, "rollup" for coalesced delta frames; anything else is
+// rejected with 400 before the upgrade.
 func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream")
+	if stream != StreamLive && stream != StreamRollup {
+		http.Error(w, "unknown stream (want empty or \"rollup\")", http.StatusBadRequest)
+		return
+	}
 	conn, err := Upgrade(w, r)
 	if err != nil {
 		return
 	}
-	c := &hubClient{conn: conn, ch: make(chan []byte, h.queue)}
+	c := &hubClient{conn: conn, ch: make(chan []byte, h.queue), stream: stream}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -56,7 +79,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.clients[c] = struct{}{}
-	h.count.Store(int64(len(h.clients)))
+	h.recountLocked()
 	h.mu.Unlock()
 
 	// Reader goroutine: clients don't send data, but reading services
@@ -79,23 +102,50 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	conn.Close()
 }
 
+// recountLocked refreshes the lock-free per-stream counts. Caller holds mu.
+func (h *Hub) recountLocked() {
+	var live, rollup int64
+	for c := range h.clients {
+		if c.stream == StreamRollup {
+			rollup++
+		} else {
+			live++
+		}
+	}
+	h.nLive.Store(live)
+	h.nRollup.Store(rollup)
+}
+
 func (h *Hub) drop(c *hubClient) {
 	h.mu.Lock()
 	if _, ok := h.clients[c]; ok {
 		delete(h.clients, c)
-		h.count.Store(int64(len(h.clients)))
+		h.recountLocked()
 		c.once.Do(func() { close(c.ch) })
 	}
 	h.mu.Unlock()
 	c.conn.Close()
 }
 
-// Broadcast queues msg for every connected client without blocking.
+// Broadcast queues msg for every live-stream client without blocking.
 // Clients over their queue depth miss the message.
 func (h *Hub) Broadcast(msg []byte) {
+	h.broadcast(msg, StreamLive)
+}
+
+// BroadcastRollup queues a rollup-delta frame for every rollup-stream
+// client without blocking.
+func (h *Hub) BroadcastRollup(msg []byte) {
+	h.broadcast(msg, StreamRollup)
+}
+
+func (h *Hub) broadcast(msg []byte, stream string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for c := range h.clients {
+		if c.stream != stream {
+			continue
+		}
 		select {
 		case c.ch <- msg:
 		default:
@@ -104,10 +154,20 @@ func (h *Hub) Broadcast(msg []byte) {
 	}
 }
 
-// Clients returns the current client count. Lock-free: safe to call from
-// every sink worker on every batch.
+// Clients returns the current client count across all streams. Lock-free:
+// safe to call from every sink worker on every batch.
 func (h *Hub) Clients() int {
-	return int(h.count.Load())
+	return int(h.nLive.Load() + h.nRollup.Load())
+}
+
+// LiveClients returns the live-stream audience size, lock-free.
+func (h *Hub) LiveClients() int {
+	return int(h.nLive.Load())
+}
+
+// RollupClients returns the rollup-stream audience size, lock-free.
+func (h *Hub) RollupClients() int {
+	return int(h.nRollup.Load())
 }
 
 // Stats returns (messages sent, messages dropped to slow clients).
@@ -124,7 +184,8 @@ func (h *Hub) Close() {
 		clients = append(clients, c)
 	}
 	h.clients = map[*hubClient]struct{}{}
-	h.count.Store(0)
+	h.nLive.Store(0)
+	h.nRollup.Store(0)
 	h.mu.Unlock()
 	for _, c := range clients {
 		c.once.Do(func() { close(c.ch) })

@@ -402,3 +402,93 @@ func BenchmarkBroadcastFanout8(b *testing.B) {
 		hub.Broadcast(msg)
 	}
 }
+
+// TestHubStreamRouting pins the per-client stream subscription: live and
+// rollup audiences are disjoint, each Broadcast* reaches exactly its own
+// stream, and the per-stream counts track connects and disconnects.
+func TestHubStreamRouting(t *testing.T) {
+	hub := NewHub(64)
+	defer hub.Close()
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+	base := "ws://" + strings.TrimPrefix(srv.URL, "http://")
+
+	live, err := Dial(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	rollup, err := Dial(base + "/?stream=rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for hub.LiveClients() < 1 || hub.RollupClients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("counts: live=%d rollup=%d", hub.LiveClients(), hub.RollupClients())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if hub.Clients() != 2 {
+		t.Fatalf("Clients() = %d, want 2", hub.Clients())
+	}
+
+	hub.Broadcast([]byte("live-frame"))
+	hub.BroadcastRollup([]byte("rollup-frame"))
+
+	live.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, msg, err := live.ReadMessage(); err != nil || string(msg) != "live-frame" {
+		t.Fatalf("live client read %q, %v; want live-frame", msg, err)
+	}
+	rollup.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, msg, err := rollup.ReadMessage(); err != nil || string(msg) != "rollup-frame" {
+		t.Fatalf("rollup client read %q, %v; want rollup-frame", msg, err)
+	}
+	// Neither client may see the other stream's frame: send a second frame
+	// on each stream and check it arrives next (nothing interleaved).
+	hub.Broadcast([]byte("live-2"))
+	hub.BroadcastRollup([]byte("rollup-2"))
+	if _, msg, err := live.ReadMessage(); err != nil || string(msg) != "live-2" {
+		t.Fatalf("live client read %q, %v; want live-2", msg, err)
+	}
+	if _, msg, err := rollup.ReadMessage(); err != nil || string(msg) != "rollup-2" {
+		t.Fatalf("rollup client read %q, %v; want rollup-2", msg, err)
+	}
+
+	rollup.Close()
+	deadline = time.Now().Add(2 * time.Second)
+	for hub.RollupClients() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rollup count stuck at %d after disconnect", hub.RollupClients())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if hub.LiveClients() != 1 || hub.Clients() != 1 {
+		t.Fatalf("after disconnect: live=%d total=%d", hub.LiveClients(), hub.Clients())
+	}
+}
+
+// TestHubRejectsUnknownStream: an unrecognized stream parameter is a 400
+// before any upgrade, so a typo fails loudly instead of silently joining
+// the live feed.
+func TestHubRejectsUnknownStream(t *testing.T) {
+	hub := NewHub(64)
+	defer hub.Close()
+	srv := httptest.NewServer(hub)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?stream=firehose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if _, err := Dial("ws://" + strings.TrimPrefix(srv.URL, "http://") + "/?stream=firehose"); err == nil {
+		t.Fatal("Dial with unknown stream succeeded, want handshake failure")
+	}
+	if hub.Clients() != 0 {
+		t.Fatalf("rejected client counted: %d", hub.Clients())
+	}
+}
